@@ -1,0 +1,13 @@
+"""Design-choice ablations (DESIGN.md §5)."""
+
+from conftest import run_experiment
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = run_experiment(benchmark, ablations.run, "ablations", scale=scale)
+    summary = result.summary
+    # Greedy ranking never loses to naive top-coverage picking.
+    assert summary["ranking:greedy*"] >= summary["ranking:top"] * 0.98
+    # Deeper buckets should not collapse the ratio.
+    assert summary["bucket_depth:4"] > summary["bucket_depth:1"] * 0.8

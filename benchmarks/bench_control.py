@@ -1,0 +1,9 @@
+"""§VI-D — on/off compression control."""
+
+from conftest import run_experiment
+from repro.experiments import control
+
+
+def test_control(benchmark, scale):
+    result = run_experiment(benchmark, control.run, "control", scale=scale)
+    assert result.summary["mean_controlled_degr_pct"] < 1

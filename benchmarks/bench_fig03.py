@@ -1,0 +1,9 @@
+"""Fig 3 — ideal dictionary compression vs dictionary size."""
+
+from conftest import run_experiment
+from repro.experiments import fig03
+
+
+def test_fig03(benchmark, scale):
+    result = run_experiment(benchmark, fig03.run, "fig03", scale=scale)
+    assert result.summary["ideal_growth"] > result.summary["pointer_growth"]

@@ -1,0 +1,10 @@
+"""Fig 11 — off-chip link compression normalized to CPACK."""
+
+from conftest import run_experiment
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, scale):
+    result = run_experiment(benchmark, fig11.run, "fig11", scale=scale)
+    # Paper: CABLE ~1.47x over a CPACK-equipped system.
+    assert result.summary["cable_vs_cpack_mean"] > 1.2

@@ -1,0 +1,12 @@
+"""Fig 12 — raw compression ratios across all 29 benchmarks."""
+
+from conftest import run_experiment
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, scale):
+    result = run_experiment(benchmark, fig12.run, "fig12", scale=scale)
+    summary = result.summary
+    # Paper shape: CABLE ~8.2x vs CPACK ~4.5x; easy group >= 16x.
+    assert summary["cable_mean"] > summary["cpack_mean"] * 1.3
+    assert summary["easy_group_cable_mean"] > 10

@@ -1,0 +1,9 @@
+"""Fig 13 — coherence-link compression on a 4-chip CMP."""
+
+from conftest import run_experiment
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, scale):
+    result = run_experiment(benchmark, fig13.run, "fig13", scale=scale)
+    assert result.summary["cable_pct_better"] > 20

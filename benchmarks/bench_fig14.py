@@ -1,0 +1,11 @@
+"""Fig 14 — throughput speedups at 256-2048 threads."""
+
+from conftest import run_experiment
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, scale):
+    result = run_experiment(benchmark, fig14.run, "fig14", scale=scale)
+    # Paper: 378% average increase at 2048 threads, up to ~30x.
+    assert result.summary["cable_mean_speedup_2048"] > 3
+    assert result.summary["cable_max_speedup_2048"] > 10

@@ -1,0 +1,9 @@
+"""Fig 15 — cooperative multiprogram (Single vs Multi4)."""
+
+from conftest import run_experiment
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark, scale):
+    result = run_experiment(benchmark, fig15.run, "fig15", scale=scale)
+    assert result.summary["cable_mean_gain"] > result.summary["gzip_mean_gain"] * 0.9

@@ -1,0 +1,10 @@
+"""Fig 16 — destructive multiprogram mixes (Table VI)."""
+
+from conftest import run_experiment
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark, scale):
+    result = run_experiment(benchmark, fig16.run, "fig16", scale=scale)
+    # Paper: gzip suffers pollution; CABLE holds its ratios.
+    assert result.summary["cable_mean_norm"] > result.summary["gzip_mean_norm"]

@@ -1,0 +1,12 @@
+"""Fig 17 — single-thread performance degradation."""
+
+from conftest import run_experiment
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark, scale):
+    result = run_experiment(benchmark, fig17.run, "fig17", scale=scale)
+    # Paper: CABLE ~5% average / ~10% worst; proportional to latency.
+    assert result.summary["cable_mean_pct"] < 10
+    assert result.summary["cpack_mean_pct"] < result.summary["cable_mean_pct"]
+    assert result.summary["cable_mean_pct"] < result.summary["gzip_mean_pct"]

@@ -1,0 +1,10 @@
+"""Fig 18 — memory-subsystem energy breakdown."""
+
+from conftest import run_experiment
+from repro.experiments import fig18
+
+
+def test_fig18(benchmark, scale):
+    result = run_experiment(benchmark, fig18.run, "fig18", scale=scale)
+    # Paper: ~15-16% average saving.
+    assert result.summary["mean_saving_pct"] > 5

@@ -1,0 +1,11 @@
+"""Fig 19 — cache-size and L4-ratio sweeps."""
+
+from conftest import run_experiment
+from repro.experiments import fig19
+
+
+def test_fig19(benchmark, scale):
+    result = run_experiment(benchmark, fig19.run, "fig19", scale=scale)
+    # Paper: (b) averages within ~1%; model tolerance is wider but the
+    # L4 ratio must matter far less than anything else.
+    assert result.summary["b_cable_span"] < 1.3

@@ -1,0 +1,11 @@
+"""Fig 20 — CABLE paired with different engines."""
+
+from conftest import run_experiment
+from repro.experiments import fig20
+
+
+def test_fig20(benchmark, scale):
+    result = run_experiment(benchmark, fig20.run, "fig20", scale=scale)
+    summary = result.summary
+    assert summary["oracle_geomean"] >= summary["lbe_geomean"]
+    assert summary["lbe_geomean"] > summary["cpack128_geomean"]

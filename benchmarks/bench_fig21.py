@@ -1,0 +1,12 @@
+"""Fig 21 — hash-table size sweep."""
+
+from conftest import run_experiment
+from repro.experiments import fig21
+
+
+def test_fig21(benchmark, scale):
+    result = run_experiment(benchmark, fig21.run, "fig21", scale=scale)
+    # Paper: graceful degradation; 1/8x loses <7% worst case (we allow
+    # a wider band at reduced scale).
+    assert result.summary["1/8x"] > 0.85
+    assert result.summary["1/2048x"] > 0.4

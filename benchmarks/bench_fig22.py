@@ -1,0 +1,11 @@
+"""Fig 22 — data-access-count sweep."""
+
+from conftest import run_experiment
+from repro.experiments import fig22
+
+
+def test_fig22(benchmark, scale):
+    result = run_experiment(benchmark, fig22.run, "fig22", scale=scale)
+    # Paper: one access stays within ~80% of 64.
+    assert result.summary["1"] > 0.75
+    assert result.summary["16"] >= result.summary["1"]

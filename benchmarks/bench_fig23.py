@@ -1,0 +1,10 @@
+"""Fig 23 — link width sweep + packed transport."""
+
+from conftest import run_experiment
+from repro.experiments import fig23
+
+
+def test_fig23(benchmark, scale):
+    result = run_experiment(benchmark, fig23.run, "fig23", scale=scale)
+    assert result.summary["ratio_16b"] > result.summary["ratio_64b"]
+    assert result.summary["ratio_64b_packed"] > result.summary["ratio_64b"]

@@ -1,0 +1,9 @@
+"""§VI-D — bit-toggle reduction."""
+
+from conftest import run_experiment
+from repro.experiments import toggles
+
+
+def test_toggles(benchmark, scale):
+    result = run_experiment(benchmark, toggles.run, "toggles", scale=scale)
+    assert result.summary["cable_mean_pct"] > 0

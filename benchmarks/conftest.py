@@ -1,0 +1,35 @@
+"""Benchmark harness conventions.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures
+(DESIGN.md's experiment index) at the ``default`` scale preset. The
+rendered rows/series are printed and archived under
+``benchmarks/output/`` so EXPERIMENTS.md can quote them verbatim.
+
+Simulations are memoized process-wide (see
+:func:`repro.experiments.base.cached_memlink`), so figures sharing the
+same underlying runs (11/12/14/17/18...) pay for them once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
+    """Run an experiment once under pytest-benchmark and archive it."""
+    result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
+    text = result.render()
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{output_name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return result
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return "default"

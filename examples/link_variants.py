@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CABLE's deployment variants side by side (§IV-B, §IV-C, §IV-D).
+
+The baseline CABLE assumes an inclusive hierarchy with explicit
+eviction notices. The paper's discussion section relaxes each
+assumption; this example runs all four variants over the *same*
+workload and shows what each one trades:
+
+1. baseline       — inclusive, explicit eviction notices;
+2. silent         — §IV-B: evictions inferred from way-replacement
+                    info; in-flight references recovered from the
+                    §IV-A eviction buffer;
+3. non-inclusive  — §IV-C: home evictions leave remote copies;
+                    write-backs compressed without references;
+4. non-inclusive/raw — §IV-C with write-back compression disabled.
+
+Run:  python examples/link_variants.py
+"""
+
+import random
+import struct
+
+from repro import CableConfig, CableLinkPair
+from repro.cache import CacheGeometry, InclusivePair, SetAssociativeCache
+from repro.core.noninclusive import NonInclusiveCableLink, NonInclusivePair
+
+
+def make_backing(seed=11):
+    rng = random.Random(seed)
+    archetypes = [
+        struct.pack(
+            "<16I",
+            *(
+                0 if rng.random() < 0.4 else rng.getrandbits(32) | 0x01000000
+                for _ in range(16)
+            ),
+        )
+        for _ in range(6)
+    ]
+    store = {}
+
+    def read(addr):
+        if addr not in store:
+            line = bytearray(archetypes[addr % 6])
+            struct.pack_into("<I", line, 60, addr)
+            store[addr] = bytes(line)
+        return store[addr]
+
+    def write(addr, data):
+        store[addr] = data
+
+    return read, write, store
+
+
+def build(variant: str):
+    read, write, store = make_backing()
+    home = SetAssociativeCache(CacheGeometry(64 * 1024, 8), name="home")
+    remote = SetAssociativeCache(CacheGeometry(16 * 1024, 4), name="remote")
+    config = CableConfig()
+    if variant == "baseline":
+        link = CableLinkPair(config, InclusivePair(home, remote, read, write))
+    elif variant == "silent":
+        link = CableLinkPair(
+            config,
+            InclusivePair(home, remote, read, write),
+            silent_evictions=True,
+        )
+    elif variant == "non-inclusive":
+        link = NonInclusiveCableLink(
+            config, NonInclusivePair(home, remote, read, write)
+        )
+    elif variant == "non-inclusive/raw":
+        link = NonInclusiveCableLink(
+            config,
+            NonInclusivePair(home, remote, read, write),
+            writeback_mode="raw",
+        )
+    else:
+        raise ValueError(variant)
+    link.backing_read = read
+    return link
+
+
+def drive(link, accesses=12_000, seed=5):
+    rng = random.Random(seed)
+    for i in range(accesses):
+        addr = rng.randrange(1500)
+        if rng.random() < 0.3:
+            data = bytearray(link.backing_read(addr))
+            struct.pack_into("<I", data, 0, i)
+            link.access(addr, is_write=True, write_data=bytes(data))
+        else:
+            link.access(addr)
+
+
+def main() -> None:
+    print(f"{'variant':20s} {'ratio':>7s} {'ref fills':>10s} {'rescues':>8s}")
+    print("-" * 50)
+    for variant in ("baseline", "silent", "non-inclusive", "non-inclusive/raw"):
+        link = build(variant)
+        drive(link)
+        stats = link.home_encoder.stats
+        ref_pct = 100 * stats["with_references"] / max(stats["encodes"], 1)
+        rescues = link.remote_decoder.stats["rescued_references"]
+        print(
+            f"{variant:20s} {link.compression_ratio:6.2f}x "
+            f"{ref_pct:9.1f}% {rescues:8d}"
+        )
+    print()
+    print("silent matches baseline (evictions inferred from requests);")
+    print("non-inclusive pays on write-backs but keeps fill references;")
+    print("every variant decompressed all traffic exactly (verify=True).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Command-line entry point: regenerate the paper's tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig12 --scale smoke
+    python -m repro fig12 --scale default --benchmarks gcc dealII mcf
+    python -m repro tables
+    python -m repro all --scale smoke
+
+``--scale`` is one of the presets in
+:data:`repro.experiments.base.SCALES`; see DESIGN.md's experiment
+index for what each figure shows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+#: Experiment id → (module, supports-benchmarks-arg).
+EXPERIMENTS = {
+    "fig03": ("repro.experiments.fig03", True),
+    "fig11": ("repro.experiments.fig11", True),
+    "fig12": ("repro.experiments.fig12", True),
+    "fig13": ("repro.experiments.fig13", True),
+    "fig14": ("repro.experiments.fig14", True),
+    "fig15": ("repro.experiments.fig15", True),
+    "fig16": ("repro.experiments.fig16", False),
+    "fig17": ("repro.experiments.fig17", True),
+    "fig18": ("repro.experiments.fig18", True),
+    "fig19": ("repro.experiments.fig19", True),
+    "fig20": ("repro.experiments.fig20", True),
+    "fig21": ("repro.experiments.fig21", True),
+    "fig22": ("repro.experiments.fig22", True),
+    "fig23": ("repro.experiments.fig23", True),
+    "toggles": ("repro.experiments.toggles", True),
+    "control": ("repro.experiments.control", True),
+    "ablations": ("repro.experiments.ablations", True),
+}
+
+
+def run_tables() -> None:
+    from repro.experiments import tables
+
+    for factory in (
+        tables.table_ii,
+        tables.table_iii_result,
+        tables.table_iv,
+        tables.table_v,
+        tables.table_vi,
+    ):
+        print(factory().render())
+        print()
+
+
+def run_experiment(name: str, scale: str, benchmarks: Optional[List[str]]) -> None:
+    module_name, takes_benchmarks = EXPERIMENTS[name]
+    module = importlib.import_module(module_name)
+    kwargs = {"scale": scale}
+    if benchmarks and takes_benchmarks:
+        kwargs["benchmarks"] = benchmarks
+    print(module.run(**kwargs).render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate CABLE's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (figNN/toggles/control/ablations), "
+        "'tables', 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=("smoke", "default", "paper"),
+        help="fidelity/runtime preset (default: default)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        metavar="BENCH",
+        help="restrict to these SPEC2006 benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)), "+ tables")
+        return 0
+    if args.experiment == "tables":
+        run_tables()
+        return 0
+    if args.experiment == "all":
+        run_tables()
+        for name in sorted(EXPERIMENTS):
+            run_experiment(name, args.scale, args.benchmarks)
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; try 'list'"
+        )
+    run_experiment(args.experiment, args.scale, args.benchmarks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

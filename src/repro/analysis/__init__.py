@@ -1,0 +1,20 @@
+"""Metrics and plain-text reporting."""
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalize_to,
+    percent_better,
+    speedup_percent,
+)
+from repro.analysis.report import format_table, format_series
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "normalize_to",
+    "percent_better",
+    "speedup_percent",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,47 @@
+"""Metrics used across the evaluation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Per-key ratio to one baseline entry (Fig 11's normalization)."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def percent_better(new: float, old: float) -> float:
+    """The paper's "X% better" phrasing: 100·(new/old − 1)."""
+    if old == 0:
+        raise ValueError("cannot compare against zero")
+    return 100.0 * (new / old - 1.0)
+
+
+def cap(value: float, ceiling: float) -> float:
+    return min(value, ceiling)
+
+
+def speedup_percent(speedup: float) -> float:
+    """378% throughput increase ⇔ 4.78× — the paper uses both forms;
+    this converts a multiplier to the percent-increase form."""
+    return 100.0 * (speedup - 1.0)

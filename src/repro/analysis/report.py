@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for experiment output.
+
+Every experiment module prints the same rows/series its paper figure
+shows; these helpers keep that output consistent and diff-friendly
+(EXPERIMENTS.md quotes them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Dict, float_format: str = "{:.2f}") -> str:
+    """One figure series as `name: x=y, x=y, ...`."""
+    parts = []
+    for x, y in points.items():
+        if isinstance(y, float):
+            parts.append(f"{x}={float_format.format(y)}")
+        else:
+            parts.append(f"{x}={y}")
+    return f"{name}: " + ", ".join(parts)

@@ -1,0 +1,33 @@
+"""Coherent-cache substrate.
+
+CABLE sits between two coherent caches; this package provides the
+caches themselves: 64-byte lines with MESI-style states, pluggable
+replacement, set-associative geometry with explicit (index, way)
+LineIDs, and the inclusive home/remote pairing that CABLE's
+synchronization relies on.
+"""
+
+from repro.cache.line import CacheLine, CoherenceState
+from repro.cache.replacement import (
+    ReplacementPolicy,
+    LruPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache, LineId
+from repro.cache.hierarchy import InclusivePair
+
+__all__ = [
+    "CacheLine",
+    "CoherenceState",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "CacheGeometry",
+    "SetAssociativeCache",
+    "LineId",
+    "InclusivePair",
+]

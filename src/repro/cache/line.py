@@ -1,0 +1,56 @@
+"""Cache lines and coherence states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CoherenceState(Enum):
+    """MESI states, as CABLE observes them.
+
+    CABLE only uses lines in the SHARED state as references: MODIFIED
+    and EXCLUSIVE lines can change silently and would decompress
+    incorrectly (§II-A, §III-F). INVALID lines do not exist.
+    """
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def usable_as_reference(self) -> bool:
+        return self is CoherenceState.SHARED
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line.
+
+    ``tag`` is the full address tag (the line address with index bits
+    retained, i.e. ``address // line_size``), which keeps address
+    reconstruction trivial; real hardware would store only the upper
+    bits, and the pointer-size arithmetic elsewhere accounts for that.
+    """
+
+    tag: int
+    data: bytes
+    state: CoherenceState = CoherenceState.SHARED
+    dirty: bool = False
+    #: Monotonic access stamp maintained by the owning cache.
+    last_access: int = field(default=0, compare=False)
+
+    @property
+    def usable_as_reference(self) -> bool:
+        """Only SHARED lines can seed decompression.
+
+        The paper's "no dirty/modified references" rule (§II-A) is
+        about lines that can diverge between the two caches: a
+        MODIFIED/EXCLUSIVE line may change silently on its owner side.
+        The ``dirty`` flag here tracks the need to write back to the
+        *next* level (DRAM) and does not affect referencability — a
+        home line can be dirty toward DRAM while both link endpoints
+        hold identical SHARED copies.
+        """
+        return self.state.usable_as_reference

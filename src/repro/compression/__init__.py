@@ -1,0 +1,55 @@
+"""Compression-engine substrate.
+
+CABLE is a framework, not an algorithm: it finds similar cache lines and
+delegates the actual encoding to an existing engine. This package
+implements every engine the paper evaluates:
+
+- :class:`~repro.compression.zero.ZeroCompressor` — zero-word bitmap
+  encoder, the simplest baseline.
+- :class:`~repro.compression.bdi.BdiCompressor` — Base-Delta-Immediate
+  (non-dictionary class).
+- :class:`~repro.compression.cpack.CpackCompressor` — CPACK with a
+  parametric dictionary; 64B is the standard CPACK, 128B is the paper's
+  small-dictionary CPACK128 variant.
+- :class:`~repro.compression.lbe.LbeCompressor` — length-byte encoding
+  with cheap aligned block copies (LBE / LBE256).
+- :class:`~repro.compression.lzss.LzssCompressor` — the gzip stand-in:
+  LZSS over a 32KB sliding window shared across the transmitted stream.
+- :class:`~repro.compression.oracle.OracleCompressor` — ORACLE: an
+  optimal byte-granularity diff against reference lines, the upper bound
+  of Fig 20.
+
+All engines speak the :class:`~repro.compression.base.Compressor`
+interface and produce :class:`~repro.compression.base.CompressedBlock`
+objects whose ``size_bits`` is the exact wire cost and whose token
+streams round-trip through ``decompress``.
+"""
+
+from repro.compression.base import (
+    Compressor,
+    CompressedBlock,
+    ReferenceCompressor,
+    compression_ratio,
+)
+from repro.compression.zero import ZeroCompressor
+from repro.compression.bdi import BdiCompressor
+from repro.compression.cpack import CpackCompressor
+from repro.compression.lbe import LbeCompressor
+from repro.compression.lzss import LzssCompressor
+from repro.compression.oracle import OracleCompressor
+from repro.compression.registry import make_engine, ENGINE_FACTORIES
+
+__all__ = [
+    "Compressor",
+    "CompressedBlock",
+    "ReferenceCompressor",
+    "compression_ratio",
+    "ZeroCompressor",
+    "BdiCompressor",
+    "CpackCompressor",
+    "LbeCompressor",
+    "LzssCompressor",
+    "OracleCompressor",
+    "make_engine",
+    "ENGINE_FACTORIES",
+]

@@ -1,0 +1,91 @@
+"""Seedable FIFO dictionaries shared by the dictionary engines.
+
+CPACK keeps a FIFO of 32-bit words; LBE keeps a FIFO byte buffer of
+word-aligned blocks. Both support being *seeded* from CABLE reference
+lines to build the temporary per-transfer dictionary of Fig 10, and both
+can be snapshotted/restored so a seeded compression never perturbs the
+persistent stream state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Sequence, Tuple
+
+
+class WordFifo:
+    """Fixed-capacity FIFO of 32-bit words (CPACK's dictionary)."""
+
+    def __init__(self, capacity_words: int) -> None:
+        if capacity_words < 1:
+            raise ValueError("capacity must be at least one word")
+        self.capacity = capacity_words
+        self._words: Deque[int] = deque(maxlen=capacity_words)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __iter__(self):
+        return iter(self._words)
+
+    def entry(self, index: int) -> int:
+        return self._words[index]
+
+    def push(self, word: int) -> None:
+        self._words.append(word)
+
+    def seed(self, lines: Iterable[Sequence[int]]) -> None:
+        """Fill from reference lines (word sequences), oldest first."""
+        for line in lines:
+            for word in line:
+                self.push(word)
+
+    def snapshot(self) -> Tuple[int, ...]:
+        return tuple(self._words)
+
+    def restore(self, snapshot: Tuple[int, ...]) -> None:
+        self._words = deque(snapshot, maxlen=self.capacity)
+
+    def clear(self) -> None:
+        self._words.clear()
+
+
+class ByteWindow:
+    """Fixed-capacity FIFO byte buffer (LBE's / LZSS's dictionary).
+
+    Bytes are appended at the tail; when capacity is exceeded the oldest
+    bytes fall off the head. Offsets used by copy operations index from
+    the head of the current window.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 4:
+            raise ValueError("capacity must be at least one word")
+        self.capacity = capacity_bytes
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def data(self) -> bytes:
+        return bytes(self._buffer)
+
+    def append(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        overflow = len(self._buffer) - self.capacity
+        if overflow > 0:
+            del self._buffer[:overflow]
+
+    def seed(self, lines: Iterable[bytes]) -> None:
+        for line in lines:
+            self.append(line)
+
+    def snapshot(self) -> bytes:
+        return bytes(self._buffer)
+
+    def restore(self, snapshot: bytes) -> None:
+        self._buffer = bytearray(snapshot)
+
+    def clear(self) -> None:
+        self._buffer.clear()

@@ -1,0 +1,237 @@
+"""LBE — length-byte encoding with cheap aligned block copies.
+
+LBE comes from MORC (Nguyen & Wentzlaff, MICRO 2015). The property the
+CABLE paper leans on (§VI-E, Fig 20) is that, unlike CPACK which pays a
+code + index *per word*, LBE can copy a large *aligned block* of the
+dictionary with a single operation, amortizing the pointer over many
+words. This is why CABLE+LBE is the best pairing: reference lines are
+often near-copies of the requested line, and one copy op can cover most
+of it.
+
+Wire format (all operations word-aligned, lengths counted in 32-bit
+words, ``off`` is the word offset into the current dictionary window):
+
+========= =============================== =======================
+op (2b)   operands                        wire bits
+========= =============================== =======================
+``ZERO``  len (4b, 1–16 words)            2 + 4
+``COPY``  off (log2 window words), len 4b 2 + off_bits + 4
+``LIT``   len (4b), len×32 raw bits       2 + 4 + 32·len
+``BYTE``  len (4b), len×8 low bytes       2 + 4 + 8·len
+========= =============================== =======================
+
+``BYTE`` runs carry words whose upper 24 bits are zero (counters,
+sizes, enum fields) at a quarter of the literal cost — LBE's
+significance-based "length-byte" coding.
+
+The encoder is greedy: at each word position it takes the longest of a
+zero run or a window match, falling back to accumulating literals.
+Matches shorter than the break-even length for the current pointer
+width are rejected, which reproduces the pointer-overhead sensitivity
+studied in Fig 3. Copies may also reference the already-emitted words
+of the line being compressed (self-referential, like any LZ coder), so
+repeated-value lines collapse to a literal plus one copy.
+
+The persistent window (default 256 bytes — the paper's LBE256) carries
+across the stream; the CABLE pairing instead seeds a temporary window
+from the reference lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.compression.base import CompressedBlock, ReferenceCompressor
+from repro.compression.dictionary import ByteWindow
+from repro.util.bits import bits_for
+from repro.util.words import WORD_BYTES, bytes_to_words, words_to_bytes
+
+_OP_BITS = 2
+_LEN_BITS = 4
+_MAX_RUN_WORDS = 1 << _LEN_BITS  # lengths 1..16 encoded as 0..15
+
+
+class LbeCompressor(ReferenceCompressor):
+    """Length-byte encoding over a word-aligned FIFO byte window."""
+
+    def __init__(self, window_bytes: int = 256, persistent: bool = True) -> None:
+        if window_bytes % WORD_BYTES:
+            raise ValueError("window size must be word aligned")
+        self.window_bytes = window_bytes
+        self.persistent = persistent
+        self.name = "lbe" if window_bytes == 256 else f"lbe{window_bytes}"
+        self.stateful = persistent
+        self._window = ByteWindow(window_bytes)
+
+    # ------------------------------------------------------------------
+    # Stream interface
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    def compress(self, line: bytes) -> CompressedBlock:
+        if not self.persistent:
+            self._window.clear()
+        tokens, size_bits = self._encode(line, self._window.data, self.window_bytes)
+        self._window.append(line)
+        return CompressedBlock(self.name, size_bits, len(line), tuple(tokens))
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        line = self._decode(block.tokens, self._window.data, block.original_size)
+        self._window.append(line)
+        return line
+
+    # ------------------------------------------------------------------
+    # Reference (CABLE-seeded) interface
+    # ------------------------------------------------------------------
+
+    def compress_with_references(
+        self, line: bytes, references: Sequence[bytes]
+    ) -> CompressedBlock:
+        window = b"".join(references)
+        capacity = max(len(window), WORD_BYTES)
+        tokens, size_bits = self._encode(line, window, capacity)
+        return CompressedBlock(self.name, size_bits, len(line), tuple(tokens))
+
+    def decompress_with_references(
+        self, block: CompressedBlock, references: Sequence[bytes]
+    ) -> bytes:
+        window = b"".join(references)
+        return self._decode(block.tokens, window, block.original_size)
+
+    # ------------------------------------------------------------------
+    # Core codec
+    # ------------------------------------------------------------------
+
+    def _encode(
+        self, line: bytes, window: bytes, window_capacity: int
+    ) -> Tuple[List[Tuple], int]:
+        words = bytes_to_words(line)
+        window_words = bytes_to_words(window) if window else []
+        # The copy space covers the window plus the line's own emitted
+        # prefix; offsets address both, so the pointer width covers
+        # capacity + one line.
+        off_bits = bits_for(
+            max(window_capacity // WORD_BYTES + len(words), 1)
+        )
+        # A copy op must beat encoding the same words as literals; with
+        # per-word literal cost of 32 bits the break-even is below one
+        # word except for very large windows, so require the copy to
+        # save bits outright.
+        tokens: List[Tuple] = []
+        size_bits = 0
+        literals: List[int] = []
+
+        def flush_literals() -> None:
+            nonlocal size_bits
+            run = list(literals)
+            literals.clear()
+            while run:
+                # Split into maximal same-kind (byte vs word) chunks.
+                is_byte = run[0] <= 0xFF
+                chunk: List[int] = []
+                while (
+                    run
+                    and len(chunk) < _MAX_RUN_WORDS
+                    and (run[0] <= 0xFF) == is_byte
+                ):
+                    chunk.append(run.pop(0))
+                if is_byte:
+                    tokens.append(("byte", tuple(chunk)))
+                    size_bits += _OP_BITS + _LEN_BITS + 8 * len(chunk)
+                else:
+                    tokens.append(("lit", tuple(chunk)))
+                    size_bits += _OP_BITS + _LEN_BITS + 32 * len(chunk)
+
+        space = list(window_words)  # window + emitted prefix of the line
+        pos = 0
+        while pos < len(words):
+            zero_len = self._zero_run(words, pos)
+            copy_off, copy_len = self._best_copy(words, pos, space)
+            copy_cost_ok = copy_len and (
+                _OP_BITS + off_bits + _LEN_BITS < 32 * copy_len
+            )
+            if zero_len >= copy_len and zero_len > 0:
+                flush_literals()
+                tokens.append(("zero", zero_len))
+                size_bits += _OP_BITS + _LEN_BITS
+                space.extend(words[pos : pos + zero_len])
+                pos += zero_len
+            elif copy_cost_ok:
+                flush_literals()
+                tokens.append(("copy", copy_off, copy_len))
+                size_bits += _OP_BITS + off_bits + _LEN_BITS
+                space.extend(words[pos : pos + copy_len])
+                pos += copy_len
+            else:
+                literals.append(words[pos])
+                space.append(words[pos])
+                pos += 1
+        flush_literals()
+        return tokens, size_bits
+
+    def _zero_run(self, words: Sequence[int], pos: int) -> int:
+        length = 0
+        while (
+            pos + length < len(words)
+            and words[pos + length] == 0
+            and length < _MAX_RUN_WORDS
+        ):
+            length += 1
+        return length
+
+    def _best_copy(
+        self, words: Sequence[int], pos: int, space: Sequence[int]
+    ) -> Tuple[Optional[int], int]:
+        """Longest match of ``words[pos:]`` anywhere in the copy space
+        (window + emitted prefix). Overlapping copies are allowed and
+        behave like LZ77: the source is read as it is produced."""
+        best_off: Optional[int] = None
+        best_len = 0
+        limit = min(_MAX_RUN_WORDS, len(words) - pos)
+        space_len = len(space)
+        for off in range(space_len):
+            if space[off] != words[pos]:
+                continue
+            length = 1
+            while length < limit:
+                source_index = off + length
+                if source_index < space_len:
+                    source = space[source_index]
+                else:
+                    # Overlap: source word comes from the part of the
+                    # line this very copy will produce.
+                    source = words[pos + (source_index - space_len)]
+                if source != words[pos + length]:
+                    break
+                length += 1
+            if length > best_len:
+                best_len, best_off = length, off
+                if best_len == limit:
+                    break
+        return best_off, best_len
+
+    def _decode(
+        self, tokens: Sequence[Tuple], window: bytes, original_size: int
+    ) -> bytes:
+        space: List[int] = bytes_to_words(window) if window else []
+        start = len(space)
+        for token in tokens:
+            kind = token[0]
+            if kind == "zero":
+                space.extend([0] * token[1])
+            elif kind == "copy":
+                __, off, length = token
+                for k in range(length):
+                    # Appending as we read makes overlapping copies
+                    # reproduce the encoder's semantics exactly.
+                    space.append(space[off + k])
+            elif kind in ("lit", "byte"):
+                space.extend(token[1])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown LBE token {kind!r}")
+        words = space[start:]
+        if len(words) * WORD_BYTES != original_size:
+            raise ValueError("LBE token stream does not reconstruct the line")
+        return words_to_bytes(words)

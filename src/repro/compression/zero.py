@@ -1,0 +1,37 @@
+"""Zero-word bitmap encoder.
+
+The simplest link encoder (Villa et al., Dusser et al.): transmit one
+presence bit per 32-bit word plus the raw words that are non-zero.
+Included as the floor of the comparison space and reused by synthetic
+trace validation.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor, CompressedBlock
+from repro.util.words import bytes_to_words, words_to_bytes
+
+
+class ZeroCompressor(Compressor):
+    """Per-word zero bitmap: ``n`` mask bits + 32 bits per non-zero word."""
+
+    name = "zero"
+    stateful = False
+
+    def compress(self, line: bytes) -> CompressedBlock:
+        words = bytes_to_words(line)
+        nonzero = [(i, w) for i, w in enumerate(words) if w != 0]
+        size_bits = len(words) + 32 * len(nonzero)
+        return CompressedBlock(
+            algorithm=self.name,
+            size_bits=size_bits,
+            original_size=len(line),
+            tokens=(len(words), tuple(nonzero)),
+        )
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        word_count, nonzero = block.tokens
+        words = [0] * word_count
+        for index, value in nonzero:
+            words[index] = value
+        return words_to_bytes(words)

@@ -1,0 +1,480 @@
+"""CABLE link endpoints: the home encoder and the remote decoder.
+
+The home encoder owns the structures Fig 4 places at the home cache —
+the signature hash table, the WMT and the search pipeline — and turns
+outbound lines into :class:`~repro.core.payload.Payload` objects. The
+remote decoder owns the remote-side hash table (used for write-back
+compression, §III-G) and the eviction buffer, and reconstructs lines
+from payloads by reading its own data array.
+
+:class:`CableLinkPair` bundles both endpoints around an
+:class:`~repro.cache.hierarchy.InclusivePair` and keeps them
+synchronized through the pair's coherence events (see
+:mod:`repro.core.sync`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.hierarchy import InclusivePair, TransferEvent
+from repro.cache.setassoc import LineId, SetAssociativeCache
+from repro.compression.base import ReferenceCompressor
+from repro.compression.registry import make_engine
+from repro.core.config import CableConfig
+from repro.core.evictbuf import EvictionBuffer
+from repro.core.hashtable import SignatureHashTable
+from repro.core.payload import Payload, PayloadKind, choose_payload
+from repro.core.search import SearchPipeline, SearchResult
+from repro.core.signature import SignatureExtractor
+from repro.core.wmt import WayMapTable
+
+
+class DecompressionError(RuntimeError):
+    """A payload failed to reconstruct the original line — a
+    synchronization bug, never expected in a correct configuration."""
+
+
+def _make_reference_engine(name: str) -> ReferenceCompressor:
+    engine = make_engine(name)
+    if not isinstance(engine, ReferenceCompressor):
+        raise ValueError(f"engine {name!r} cannot be seeded with references")
+    return engine
+
+
+@dataclass
+class EncodeOutcome:
+    """A payload plus the search diagnostics that produced it."""
+
+    payload: Payload
+    search: Optional[SearchResult] = None
+
+    @property
+    def size_bits(self) -> int:
+        return self.payload.size_bits
+
+
+class CableHomeEncoder:
+    """Home-side endpoint: search, compress, point, transmit."""
+
+    def __init__(
+        self,
+        config: CableConfig,
+        home_cache: SetAssociativeCache,
+        remote_geometry,
+    ) -> None:
+        self.config = config
+        self.home_cache = home_cache
+        self.extractor = SignatureExtractor(config)
+        self.hash_table = SignatureHashTable.sized_for(
+            home_cache.geometry.lines,
+            scale=config.hash_table_scale,
+            bucket_entries=config.hash_bucket_entries,
+        )
+        self.wmt = WayMapTable(home_cache.geometry, remote_geometry)
+        self.engine = _make_reference_engine(config.engine)
+        self.pipeline = SearchPipeline(
+            config, self.extractor, self.hash_table, home_cache, self._referencable
+        )
+        self.stats = {
+            "encodes": 0,
+            "with_references": 0,
+            "no_reference": 0,
+            "uncompressed": 0,
+            "reference_count": 0,
+        }
+
+    def _referencable(self, home_lid: LineId) -> Optional[LineId]:
+        """A home line is referencable iff the WMT proves it resides in
+        the remote cache (state checks happen in the search pipeline)."""
+        return self.wmt.remote_lid_for(home_lid)
+
+    # ------------------------------------------------------------------
+    # Compression path (home → remote)
+    # ------------------------------------------------------------------
+
+    def encode(
+        self, line_addr: int, data: bytes, home_lid: Optional[LineId]
+    ) -> EncodeOutcome:
+        """Compress one outbound line.
+
+        ``home_lid`` excludes the line's own slot from the reference
+        search; pass None when the line is not resident (should not
+        happen on the fill path of an inclusive hierarchy).
+        """
+        search = self.pipeline.search(data, exclude=home_lid)
+        no_ref = self.engine.compress_with_references(data, ())
+        with_refs = None
+        if search.references:
+            refs = search.references
+            block = self.engine.compress_with_references(
+                data, [r.data for r in refs]
+            )
+            with_refs = (
+                block,
+                tuple(r.remote_lid for r in refs),
+                tuple(r.line_addr for r in refs),
+            )
+        payload = choose_payload(
+            line_addr,
+            data,
+            with_refs,
+            no_ref,
+            self.config.no_reference_threshold,
+            self.config.remotelid_bits,
+        )
+        self.stats["encodes"] += 1
+        self.stats[payload.kind.value] += 1
+        self.stats["reference_count"] += len(payload.remote_lids)
+        return EncodeOutcome(payload=payload, search=search)
+
+    # ------------------------------------------------------------------
+    # Write-back path (remote → home): decode using the WMT
+    # ------------------------------------------------------------------
+
+    def decode_writeback(self, payload: Payload) -> bytes:
+        """Reconstruct a written-back line from remote-LID pointers.
+
+        The remote cache has no WMT; it sends its own LineIDs, which
+        the home cache translates through its WMT to locate the
+        reference data in its own array (§III-G).
+        """
+        if payload.kind is PayloadKind.UNCOMPRESSED:
+            return payload.raw
+        references: List[bytes] = []
+        for i, remote_lid in enumerate(payload.remote_lids):
+            home_lid = self.wmt.home_lid_for(remote_lid)
+            if home_lid is None:
+                raise DecompressionError(
+                    f"write-back reference {remote_lid} is not tracked in the WMT"
+                )
+            line = self.home_cache.read_by_lineid(home_lid)
+            if line is None:
+                raise DecompressionError(
+                    f"WMT points at an empty home slot {home_lid}"
+                )
+            if payload.ref_addrs and line.tag != payload.ref_addrs[i]:
+                raise DecompressionError(
+                    "write-back reference desynchronized: "
+                    f"expected line {payload.ref_addrs[i]:#x}, found {line.tag:#x}"
+                )
+            references.append(line.data)
+        return self.engine.decompress_with_references(payload.block, references)
+
+    # ------------------------------------------------------------------
+    # Synchronization hooks (driven by repro.core.sync)
+    # ------------------------------------------------------------------
+
+    def on_fill_sent(self, event: TransferEvent) -> None:
+        """After a fill leaves: index shared lines, update the WMT."""
+        displaced = self.wmt.install(event.home_lid, event.remote_lid)
+        if displaced is not None:
+            # Way-replacement info said this slot held another of our
+            # lines; scrub its signatures (normally the remote_evict
+            # event has already done this — belt and braces).
+            self.invalidate_home_line(displaced, data=None)
+        if event.state is not None and event.state.usable_as_reference:
+            for signature in self.extractor.index_signatures(event.data):
+                self.hash_table.insert(signature, event.home_lid)
+
+    def on_remote_evict(self, event: TransferEvent) -> None:
+        """The remote lost a line: WMT slot out, signatures out."""
+        home_lid = self.wmt.invalidate_remote(event.remote_lid)
+        if home_lid is not None:
+            self.invalidate_home_line(home_lid, data=event.data)
+
+    def on_upgrade(self, event: TransferEvent) -> None:
+        """Shared→Modified: the home copy is stale; forget it."""
+        self.invalidate_home_line(event.home_lid, data=event.data)
+
+    def on_home_evict(self, event: TransferEvent) -> None:
+        if event.home_lid is not None:
+            self.invalidate_home_line(event.home_lid, data=event.data)
+            self.wmt.invalidate_home(event.home_lid)
+
+    def invalidate_home_line(self, home_lid: LineId, data: Optional[bytes]) -> None:
+        """Remove a line's signatures from the hash table (§III-F).
+
+        Recomputes the index-time signatures from the line's data and
+        removes the LineID from those buckets. Staleness is tolerated:
+        a missed removal only leaves a harmless stale candidate that
+        the search pipeline will reject by CBV/WMT checks.
+        """
+        if data is None:
+            cached = self.home_cache.read_by_lineid(home_lid)
+            if cached is None:
+                self.hash_table.remove_lineid_everywhere(home_lid)
+                return
+            data = cached.data
+        for signature in self.extractor.index_signatures(data):
+            self.hash_table.remove(signature, home_lid)
+
+
+class CableRemoteDecoder:
+    """Remote-side endpoint: decompress fills, compress write-backs."""
+
+    def __init__(self, config: CableConfig, remote_cache: SetAssociativeCache) -> None:
+        self.config = config
+        self.remote_cache = remote_cache
+        self.extractor = SignatureExtractor(config)
+        self.hash_table = SignatureHashTable.sized_for(
+            remote_cache.geometry.lines,
+            scale=config.hash_table_scale,
+            bucket_entries=config.hash_bucket_entries,
+        )
+        self.engine = _make_reference_engine(config.engine)
+        self.evict_buffer = EvictionBuffer(config.eviction_buffer_entries)
+        self.pipeline = SearchPipeline(
+            config, self.extractor, self.hash_table, remote_cache, self._referencable
+        )
+        self.stats = {"decodes": 0, "rescued_references": 0, "writeback_encodes": 0}
+
+    def _referencable(self, remote_lid: LineId) -> Optional[LineId]:
+        """For write-back search the remote references its own slots;
+        inclusivity guarantees the home cache also holds them."""
+        return remote_lid
+
+    # ------------------------------------------------------------------
+    # Decompression path (home → remote)
+    # ------------------------------------------------------------------
+
+    def decode(self, payload: Payload) -> bytes:
+        self.stats["decodes"] += 1
+        if payload.kind is PayloadKind.UNCOMPRESSED:
+            return payload.raw
+        references: List[bytes] = []
+        for i, remote_lid in enumerate(payload.remote_lids):
+            references.append(self._read_reference(payload, i, remote_lid))
+        return self.engine.decompress_with_references(payload.block, references)
+
+    def _read_reference(self, payload: Payload, i: int, remote_lid: LineId) -> bytes:
+        line = self.remote_cache.read_by_lineid(remote_lid)
+        expected_addr = payload.ref_addrs[i] if payload.ref_addrs else None
+        if line is not None and (expected_addr is None or line.tag == expected_addr):
+            return line.data
+        # Race (§IV-A): the reference was evicted while the response
+        # was in flight — recover it from the eviction buffer.
+        if expected_addr is not None:
+            rescued = self.evict_buffer.rescue(remote_lid, expected_addr)
+            if rescued is not None:
+                self.stats["rescued_references"] += 1
+                return rescued
+        raise DecompressionError(
+            f"reference {remote_lid} missing from remote cache and eviction buffer"
+        )
+
+    # ------------------------------------------------------------------
+    # Write-back compression (remote → home, §III-G)
+    # ------------------------------------------------------------------
+
+    def encode_writeback(self, line_addr: int, data: bytes, remote_lid) -> EncodeOutcome:
+        self.stats["writeback_encodes"] += 1
+        search = self.pipeline.search(data, exclude=remote_lid)
+        no_ref = self.engine.compress_with_references(data, ())
+        with_refs = None
+        if search.references:
+            refs = search.references
+            block = self.engine.compress_with_references(data, [r.data for r in refs])
+            with_refs = (
+                block,
+                tuple(r.remote_lid for r in refs),
+                tuple(r.line_addr for r in refs),
+            )
+        payload = choose_payload(
+            line_addr,
+            data,
+            with_refs,
+            no_ref,
+            self.config.no_reference_threshold,
+            self.config.remotelid_bits,
+        )
+        return EncodeOutcome(payload=payload, search=search)
+
+    # ------------------------------------------------------------------
+    # Synchronization hooks
+    # ------------------------------------------------------------------
+
+    def on_fill_received(self, event: TransferEvent) -> None:
+        """Index newly received shared lines for write-back search."""
+        if event.state is not None and event.state.usable_as_reference:
+            for signature in self.extractor.index_signatures(event.data):
+                self.hash_table.insert(signature, event.remote_lid)
+
+    def on_remote_evict(self, event: TransferEvent) -> None:
+        self.evict_buffer.record(event.remote_lid, event.line_addr, event.data)
+        for signature in self.extractor.index_signatures(event.data):
+            self.hash_table.remove(signature, event.remote_lid)
+
+    def on_upgrade(self, event: TransferEvent) -> None:
+        for signature in self.extractor.index_signatures(event.data):
+            self.hash_table.remove(signature, event.remote_lid)
+
+
+@dataclass
+class TransferRecord:
+    """Link accounting for one transfer."""
+
+    direction: str  # "fill" or "writeback"
+    line_addr: int
+    payload: Payload
+    search: Optional[SearchResult] = None
+
+    @property
+    def size_bits(self) -> int:
+        return self.payload.size_bits
+
+
+class CableLinkPair:
+    """Both CABLE endpoints wired around an inclusive cache pair.
+
+    Drive it with :meth:`access`; every fill and write-back is
+    compressed, transmitted, decompressed and *verified* against the
+    original data — a failed verification raises
+    :class:`DecompressionError` and indicates a synchronization bug.
+    """
+
+    def __init__(
+        self,
+        config: CableConfig,
+        pair: InclusivePair,
+        verify: bool = True,
+        enabled: bool = True,
+        silent_evictions: bool = False,
+    ) -> None:
+        """``silent_evictions`` models §IV-B's 1-to-1 / linearly
+        interleaved configurations: the remote never sends explicit
+        eviction notices for fill displacements; the home tracks them
+        purely from the way-replacement info embedded in each request
+        (the WMT-displacement path of ``on_fill_sent``).
+        """
+        self.config = config
+        self.pair = pair
+        self.verify = verify
+        self.enabled = enabled
+        self.silent_evictions = silent_evictions
+        self.home_encoder = CableHomeEncoder(
+            config, pair.home, pair.remote.geometry
+        )
+        self.remote_decoder = CableRemoteDecoder(config, pair.remote)
+        self.transfers: List[TransferRecord] = []
+        self.keep_transfers = True
+        self.totals = {
+            "fill_bits": 0,
+            "writeback_bits": 0,
+            "raw_bits": 0,
+            "fills": 0,
+            "writebacks": 0,
+        }
+        pair.add_observer(self._on_event)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event: TransferEvent) -> None:
+        if event.kind == "remote_evict":
+            self.remote_decoder.on_remote_evict(event)
+            if self.silent_evictions and event.displaced_addr is not None:
+                # §IV-B: no explicit notice for fill displacements —
+                # the home infers them from the request's
+                # way-replacement info when the fill is processed.
+                return
+            self.home_encoder.on_remote_evict(event)
+        elif event.kind == "fill":
+            self._transfer_fill(event)
+        elif event.kind == "writeback":
+            self._transfer_writeback(event)
+        elif event.kind == "upgrade":
+            self.home_encoder.on_upgrade(event)
+            self.remote_decoder.on_upgrade(event)
+        elif event.kind == "home_evict":
+            self.home_encoder.on_home_evict(event)
+
+    def _transfer_fill(self, event: TransferEvent) -> None:
+        if self.enabled:
+            outcome = self.home_encoder.encode(
+                event.line_addr, event.data, event.home_lid
+            )
+            payload, search = outcome.payload, outcome.search
+        else:
+            payload = Payload(
+                kind=PayloadKind.UNCOMPRESSED,
+                line_addr=event.line_addr,
+                line_bytes=len(event.data),
+                raw=event.data,
+                remotelid_bits=self.config.remotelid_bits,
+            )
+            search = None
+        if self.verify:
+            decoded = self.remote_decoder.decode(payload)
+            if decoded != event.data:
+                raise DecompressionError(
+                    f"fill for line {event.line_addr:#x} decompressed incorrectly"
+                )
+        else:
+            self.remote_decoder.stats["decodes"] += 1
+        # Post-transfer synchronization (§III-F): both sides index the
+        # line and the home side updates its WMT.
+        self.home_encoder.on_fill_sent(event)
+        self.remote_decoder.on_fill_received(event)
+        self._account("fill", event, payload, search)
+
+    def _transfer_writeback(self, event: TransferEvent) -> None:
+        if self.enabled:
+            outcome = self.remote_decoder.encode_writeback(
+                event.line_addr, event.data, event.remote_lid
+            )
+            payload, search = outcome.payload, outcome.search
+        else:
+            payload = Payload(
+                kind=PayloadKind.UNCOMPRESSED,
+                line_addr=event.line_addr,
+                line_bytes=len(event.data),
+                raw=event.data,
+                remotelid_bits=self.config.remotelid_bits,
+            )
+            search = None
+        if self.verify and self.enabled:
+            decoded = self.home_encoder.decode_writeback(payload)
+            if decoded != event.data:
+                raise DecompressionError(
+                    f"write-back of line {event.line_addr:#x} decompressed incorrectly"
+                )
+        self._account("writeback", event, payload, search)
+
+    def _account(self, direction, event, payload, search) -> None:
+        record = TransferRecord(
+            direction=direction,
+            line_addr=event.line_addr,
+            payload=payload,
+            search=search,
+        )
+        if self.keep_transfers:
+            self.transfers.append(record)
+        self.totals[f"{direction}s"] += 1
+        self.totals[f"{direction}_bits"] += payload.size_bits
+        self.totals["raw_bits"] += len(event.data) * 8
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def access(self, line_addr: int, is_write: bool = False, write_data=None):
+        """One remote-side access; compression rides the events."""
+        return self.pair.access(line_addr, is_write=is_write, write_data=write_data)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def compressed_bits(self) -> int:
+        return self.totals["fill_bits"] + self.totals["writeback_bits"]
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw payload compression ratio across all transfers."""
+        if self.compressed_bits == 0:
+            return 1.0
+        return self.totals["raw_bits"] / self.compressed_bits

@@ -1,0 +1,92 @@
+"""Eviction buffer and EvictSeq protocol (§IV-A).
+
+The race CABLE must survive: the home cache selects a reference that
+the remote cache is concurrently evicting — a response pointing at a
+missing reference cannot be decompressed.
+
+The paper's fix, implemented here: every remote eviction is assigned a
+monotonically increasing *EvictSeq* and a copy of the evicted line is
+parked in a small buffer. The EvictSeq of the latest eviction rides on
+the next memory request; the home cache echoes the last EvictSeq it
+has *processed* in each response, telling the remote which buffer
+entries can never be referenced again and are safe to drop. This works
+even over out-of-order transports such as Intel QPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.setassoc import LineId
+
+
+@dataclass(frozen=True)
+class BufferedEviction:
+    seq: int
+    remote_lid: LineId
+    line_addr: int
+    data: bytes
+
+
+class EvictionBuffer:
+    """Remote-side FIFO of unacknowledged evictions."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("eviction buffer needs at least one entry")
+        self.capacity = capacity
+        self._entries: List[BufferedEviction] = []
+        self._next_seq = 1
+        self._acked = 0
+        self.stats = {"recorded": 0, "acknowledged": 0, "rescues": 0, "overflows": 0}
+
+    # ------------------------------------------------------------------
+    # Remote side
+    # ------------------------------------------------------------------
+
+    def record(self, remote_lid: LineId, line_addr: int, data: bytes) -> int:
+        """Park a copy of an evicted line; returns its EvictSeq."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._entries.append(
+            BufferedEviction(seq=seq, remote_lid=remote_lid, line_addr=line_addr, data=data)
+        )
+        self.stats["recorded"] += 1
+        if len(self._entries) > self.capacity:
+            # A full buffer would stall evictions in hardware; the model
+            # drops the oldest and counts it so tests can detect the
+            # condition. Correctness is preserved as long as the drop
+            # is older than every in-flight reference.
+            self._entries.pop(0)
+            self.stats["overflows"] += 1
+        return seq
+
+    @property
+    def last_seq(self) -> int:
+        """The EvictSeq to embed in the next outgoing request."""
+        return self._next_seq - 1
+
+    def acknowledge(self, seq: int) -> None:
+        """Home has processed evictions up to *seq*; drop them."""
+        if seq <= self._acked:
+            return
+        self._acked = seq
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.seq > seq]
+        self.stats["acknowledged"] += before - len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Decompression fallback
+    # ------------------------------------------------------------------
+
+    def rescue(self, remote_lid: LineId, line_addr: int) -> Optional[bytes]:
+        """Recover an evicted reference by (slot, address), newest first."""
+        for entry in reversed(self._entries):
+            if entry.remote_lid == remote_lid and entry.line_addr == line_addr:
+                self.stats["rescues"] += 1
+                return entry.data
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)

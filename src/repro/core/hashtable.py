@@ -1,0 +1,127 @@
+"""The signature hash table (§III-B).
+
+A standard (non-CAM) SRAM structure mapping ``hash(signature) →
+bucket of LineIDs``. It is deliberately inexact: different signatures
+can land in the same bucket (hash collisions, Fig 7), and buckets only
+hold two LineIDs by default, so lookups return *candidates* that the
+search pipeline must verify against real data.
+
+Sizing is expressed as a scale relative to "full-sized" — as many
+entries as there are lines in the home cache (§IV-D). Fig 21 sweeps
+the scale from 2× down to 1/2048× and relies on the graceful
+degradation this FIFO-per-bucket design provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cache.setassoc import LineId
+
+
+def _round_up_pow2(value: int) -> int:
+    return 1 << max(value - 1, 0).bit_length()
+
+
+class SignatureHashTable:
+    """Bucketed signature → LineID index with FIFO bucket replacement."""
+
+    def __init__(self, entries: int, bucket_entries: int = 2) -> None:
+        if entries < 1:
+            raise ValueError("hash table needs at least one entry")
+        if bucket_entries < 1:
+            raise ValueError("buckets need at least one slot")
+        self.entries = _round_up_pow2(entries)
+        self.bucket_entries = bucket_entries
+        self._mask = self.entries - 1
+        self._buckets: Dict[int, List[LineId]] = {}
+        self.stats = {
+            "inserts": 0,
+            "bucket_evictions": 0,
+            "lookups": 0,
+            "hits": 0,
+            "removals": 0,
+            "stale_removals": 0,
+        }
+
+    @classmethod
+    def sized_for(
+        cls, home_cache_lines: int, scale: float = 1.0, bucket_entries: int = 2
+    ) -> "SignatureHashTable":
+        """Build a table scaled relative to "full-sized" (§IV-D)."""
+        entries = max(1, int(home_cache_lines * scale))
+        return cls(entries=entries, bucket_entries=bucket_entries)
+
+    def _slot(self, signature: int) -> int:
+        # The signature is already an H3 hash; fold it onto the table.
+        return (signature ^ (signature >> 16)) & self._mask
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, signature: int, lid: LineId) -> None:
+        """Record that the line at *lid* produced *signature*.
+
+        A LineID already present in the bucket is refreshed (moved to
+        the newest slot) rather than duplicated; otherwise the oldest
+        occupant falls out FIFO-style.
+        """
+        slot = self._slot(signature)
+        bucket = self._buckets.setdefault(slot, [])
+        if lid in bucket:
+            bucket.remove(lid)
+        bucket.append(lid)
+        self.stats["inserts"] += 1
+        while len(bucket) > self.bucket_entries:
+            bucket.pop(0)
+            self.stats["bucket_evictions"] += 1
+
+    def remove(self, signature: int, lid: LineId) -> bool:
+        """Remove *lid* from *signature*'s bucket if present (§III-F).
+
+        Returns True when an entry was actually removed. A miss is
+        normal — the entry may have aged out of the bucket already.
+        """
+        slot = self._slot(signature)
+        bucket = self._buckets.get(slot)
+        if bucket and lid in bucket:
+            bucket.remove(lid)
+            self.stats["removals"] += 1
+            return True
+        self.stats["stale_removals"] += 1
+        return False
+
+    def remove_lineid_everywhere(self, lid: LineId) -> int:
+        """Scrub a LineID from all buckets (slow path; tests and the
+        non-inclusive extension use it, hardware would not)."""
+        removed = 0
+        for bucket in self._buckets.values():
+            while lid in bucket:
+                bucket.remove(lid)
+                removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, signature: int) -> Tuple[LineId, ...]:
+        """All candidate LineIDs in *signature*'s bucket (maybe stale,
+        maybe collided — the search pipeline verifies)."""
+        self.stats["lookups"] += 1
+        bucket = self._buckets.get(self._slot(signature))
+        if bucket:
+            self.stats["hits"] += 1
+            return tuple(bucket)
+        return ()
+
+    def occupancy(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def __contains__(self, signature: int) -> bool:
+        bucket = self._buckets.get(self._slot(signature))
+        return bool(bucket)

@@ -1,0 +1,200 @@
+"""The search pipeline (§III-C, Fig 8).
+
+Given the requested line, in order:
+
+1. extract all non-trivial search signatures (≤16 for a 64B line);
+2. probe the hash table with each, collecting candidate LineIDs
+   (≤32 with the default bucket depth of two);
+3. *pre-rank*: count how often each LineID was returned — duplicated
+   LineIDs mean several signatures agree and are prioritized — and
+   keep the top ``data_access_count`` (six by default, swept in
+   Fig 22);
+4. read those candidates from the home data array (no tag check) and
+   build a coverage bit vector (CBV) per candidate: bit *i* set when
+   candidate word *i* equals requested word *i*;
+5. greedily select up to three references maximizing combined CBV
+   coverage.
+
+Candidates must pass a referencability filter supplied by the encoder
+(resident, clean/shared, and translatable to a RemoteLID via the WMT);
+hash collisions show up here as candidates with empty CBVs and are
+naturally dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.setassoc import LineId, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.hashtable import SignatureHashTable
+from repro.core.signature import SignatureExtractor
+from repro.util.words import bytes_to_words
+
+
+@dataclass
+class Reference:
+    """A selected reference line."""
+
+    home_lid: LineId
+    remote_lid: LineId
+    data: bytes
+    cbv: int
+    line_addr: int = -1
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search."""
+
+    references: List[Reference] = field(default_factory=list)
+    signatures_used: int = 0
+    candidates_probed: int = 0
+    data_reads: int = 0
+    combined_cbv: int = 0
+
+    @property
+    def coverage(self) -> int:
+        return bin(self.combined_cbv).count("1")
+
+    @property
+    def reference_data(self) -> List[bytes]:
+        return [ref.data for ref in self.references]
+
+
+def coverage_bit_vector(requested: Sequence[int], candidate: Sequence[int]) -> int:
+    """CBV: bit *i* set when the i-th 32-bit words match exactly."""
+    cbv = 0
+    for i, (a, b) in enumerate(zip(requested, candidate)):
+        if a == b:
+            cbv |= 1 << i
+    return cbv
+
+
+def greedy_select(
+    cbvs: List[Tuple[int, int]], max_references: int
+) -> Tuple[List[int], int]:
+    """Greedy max-coverage selection over (candidate_idx, cbv) pairs.
+
+    Repeatedly picks the candidate adding the most uncovered words.
+    This reaches the same selections as the paper's swap example in
+    §III-C (1100+0011 over 1100+0110) because a candidate that would
+    later be swapped out never offers the best marginal gain.
+    Returns (selected candidate indices, combined CBV).
+    """
+    selected: List[int] = []
+    combined = 0
+    remaining = list(cbvs)
+    while remaining and len(selected) < max_references:
+        best_pos = -1
+        best_gain = 0
+        for pos, (__, cbv) in enumerate(remaining):
+            gain = bin(cbv & ~combined).count("1")
+            if gain > best_gain:
+                best_gain = gain
+                best_pos = pos
+        if best_pos < 0:
+            break
+        idx, cbv = remaining.pop(best_pos)
+        selected.append(idx)
+        combined |= cbv
+    return selected, combined
+
+
+def top_select(
+    cbvs: List[Tuple[int, int]], max_references: int
+) -> Tuple[List[int], int]:
+    """Naive selection: the highest individual coverages, overlap
+    ignored. The ablation baseline for the paper's greedy ranking —
+    three near-identical references waste two pointers here."""
+    ranked = sorted(cbvs, key=lambda item: -bin(item[1]).count("1"))
+    selected = [idx for idx, __ in ranked[:max_references]]
+    combined = 0
+    for idx, cbv in ranked[:max_references]:
+        combined |= cbv
+    return selected, combined
+
+
+class SearchPipeline:
+    """Wires extraction, the hash table and ranking together."""
+
+    def __init__(
+        self,
+        config: CableConfig,
+        extractor: SignatureExtractor,
+        hash_table: SignatureHashTable,
+        home_cache: SetAssociativeCache,
+        referencable: Callable[[LineId], Optional[LineId]],
+    ) -> None:
+        """``referencable(home_lid)`` must return the RemoteLID when the
+        home line may seed decompression (clean, shared, resident in the
+        remote cache per the WMT), else None."""
+        self.config = config
+        self.extractor = extractor
+        self.hash_table = hash_table
+        self.home_cache = home_cache
+        self.referencable = referencable
+
+    def search(self, line: bytes, exclude: Optional[LineId] = None) -> SearchResult:
+        """Find up to ``max_references`` references for *line*.
+
+        ``exclude`` removes the requested line's own LineID from the
+        candidate set — a line must not reference itself.
+        """
+        result = SearchResult()
+        signatures = self.extractor.search_signatures(line)[
+            : self.config.max_signatures
+        ]
+        result.signatures_used = len(signatures)
+        if not signatures:
+            return result
+
+        # Probe + pre-rank by duplication count (step ③ of Fig 8).
+        counts: Dict[LineId, int] = {}
+        order: Dict[LineId, int] = {}
+        for signature in signatures:
+            for lid in self.hash_table.lookup(signature):
+                if exclude is not None and lid == exclude:
+                    continue
+                counts[lid] = counts.get(lid, 0) + 1
+                order.setdefault(lid, len(order))
+        result.candidates_probed = len(counts)
+        top = sorted(counts, key=lambda lid: (-counts[lid], order[lid]))
+        top = top[: self.config.data_access_count]
+
+        # Data-array reads + CBV construction (step ④).
+        requested_words = bytes_to_words(line)
+        candidates: List[Tuple[LineId, LineId, bytes, int, int]] = []
+        for lid in top:
+            cached = self.home_cache.read_by_lineid(lid)
+            result.data_reads += 1
+            if cached is None or not cached.usable_as_reference:
+                continue
+            remote_lid = self.referencable(lid)
+            if remote_lid is None:
+                continue
+            cbv = coverage_bit_vector(requested_words, bytes_to_words(cached.data))
+            if cbv == 0:
+                continue  # hash collision / dissimilar line (Fig 7)
+            candidates.append((lid, remote_lid, cached.data, cbv, cached.tag))
+
+        # CBV ranking (step ⑤) — greedy by default, naive for ablation.
+        select = greedy_select if self.config.ranking_policy == "greedy" else top_select
+        picks, combined = select(
+            [(i, cbv) for i, (__, __, __, cbv, __) in enumerate(candidates)],
+            self.config.max_references,
+        )
+        result.combined_cbv = combined
+        for i in picks:
+            home_lid, remote_lid, data, cbv, addr = candidates[i]
+            result.references.append(
+                Reference(
+                    home_lid=home_lid,
+                    remote_lid=remote_lid,
+                    data=data,
+                    cbv=cbv,
+                    line_addr=addr,
+                )
+            )
+        return result

@@ -1,0 +1,119 @@
+"""Signature extraction (§III-A).
+
+A *signature* is a 32-bit hash of a sampled 32-bit data word that
+stands in for the whole cache line when searching for similar lines.
+The extraction rules from the paper:
+
+- Index time: sample at the configured default offsets (Fig 5, e.g.
+  bytes 0 and 32), sliding each offset forward in 4-byte steps while
+  the word there is *trivial* (≥24 leading zeros or ones, Fig 6).
+- Search time: extract a signature from every non-trivial word of the
+  requested line — up to 16 for a 64-byte line — so any overlap with
+  an indexed line's two signatures is found regardless of where the
+  common content sits.
+- Words hash through H3 (Carter & Wegman), the same simple, hardware-
+  friendly universal hash the authors implemented in OpenPiton.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import CableConfig
+from repro.util.rng import make_rng
+from repro.util.words import bytes_to_words, is_trivial_word
+
+
+class H3Hash:
+    """H3 universal hash family over 32-bit words.
+
+    ``h(x) = XOR of q[i] for every set bit i of x`` with a fixed random
+    matrix ``q``. One XOR tree per output bit in hardware; a table walk
+    here.
+    """
+
+    def __init__(self, seed: int, width_bits: int = 32) -> None:
+        rng = make_rng(seed, "h3-matrix")
+        self.width_bits = width_bits
+        self._matrix: Tuple[int, ...] = tuple(
+            rng.getrandbits(width_bits) for _ in range(32)
+        )
+
+    def __call__(self, word: int) -> int:
+        result = 0
+        bit = 0
+        word &= 0xFFFFFFFF
+        while word:
+            if word & 1:
+                result ^= self._matrix[bit]
+            word >>= 1
+            bit += 1
+        return result
+
+
+class SignatureExtractor:
+    """Implements the paper's index-time and search-time extraction."""
+
+    def __init__(self, config: CableConfig) -> None:
+        self.config = config
+        self.hash = H3Hash(config.hash_seed)
+
+    # ------------------------------------------------------------------
+    # Index-time: the signatures inserted into the hash table
+    # ------------------------------------------------------------------
+
+    def index_signatures(self, line: bytes) -> List[int]:
+        """Signatures to insert for *line* (deduplicated, order kept).
+
+        Each configured offset advances word-by-word past trivial words
+        (wrapping within the line); a fully-trivial line yields no
+        signatures and is simply not indexed — zero lines compress
+        perfectly without references anyway.
+        """
+        words = bytes_to_words(line)
+        signatures: List[int] = []
+        seen = set()
+        threshold = self.config.trivial_threshold_bits
+        for offset in self.config.signature_offsets[: self.config.signatures_per_line]:
+            start = offset // 4
+            chosen = None
+            for step in range(len(words)):
+                word = words[(start + step) % len(words)]
+                if not is_trivial_word(word, threshold):
+                    chosen = word
+                    break
+            if chosen is None:
+                continue
+            sig = self.hash(chosen)
+            if sig not in seen:
+                seen.add(sig)
+                signatures.append(sig)
+        # If the line has fewer distinct non-trivial words than offsets
+        # the dedup above may under-fill; that is fine and matches the
+        # "often much less" remark in §III-C.
+        return signatures
+
+    # ------------------------------------------------------------------
+    # Search-time: all candidate signatures of the requested line
+    # ------------------------------------------------------------------
+
+    def search_signatures(self, line: bytes) -> List[int]:
+        """One signature per distinct non-trivial word, line order."""
+        words = bytes_to_words(line)
+        threshold = self.config.trivial_threshold_bits
+        signatures: List[int] = []
+        seen = set()
+        for word in words:
+            if is_trivial_word(word, threshold):
+                continue
+            sig = self.hash(word)
+            if sig not in seen:
+                seen.add(sig)
+                signatures.append(sig)
+        return signatures
+
+    def nontrivial_word_count(self, line: bytes) -> int:
+        threshold = self.config.trivial_threshold_bits
+        return sum(
+            0 if is_trivial_word(w, threshold) else 1 for w in bytes_to_words(line)
+        )

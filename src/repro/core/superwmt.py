@@ -1,0 +1,246 @@
+"""Pooled super-WMT for large multi-chip systems (§IV-D).
+
+With one WMT per point-to-point link, an N-chip system carries N−1
+full-size tables per chip. The paper's scalability note: "WMT
+information can be pooled into a single, competitively shared
+super-WMT/hash-table managed like a cache to decrease storage
+overheads and improve scalability."
+
+:class:`SuperWmt` implements that: one set-associative, LRU-managed
+structure shared by all links, keyed by (link, remote set, remote
+way). Because it is managed like a cache, entries can be *evicted* —
+a translation miss just means the line is not referencable right now,
+costing compression, never correctness, on the fill path. (A pooled
+deployment pairs with non-dictionary write-backs, as in
+:mod:`repro.core.noninclusive`, since the write-back translation can
+no longer be guaranteed.)
+
+Per-link :class:`PooledWmtView` objects expose the same interface as
+:class:`~repro.core.wmt.WayMapTable`, so CABLE endpoints can use
+either interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.setassoc import CacheGeometry, LineId
+from repro.core.wmt import NormalizedHomeLid
+from repro.util.bits import bits_for
+
+
+@dataclass
+class _Entry:
+    link_id: int
+    remote_index: int
+    remote_way: int
+    value: NormalizedHomeLid
+    stamp: int
+
+
+class SuperWmt:
+    """One capacity-bounded WMT shared by many links."""
+
+    def __init__(
+        self,
+        home: CacheGeometry,
+        remote: CacheGeometry,
+        links: int,
+        capacity_fraction: float = 0.5,
+        ways: int = 4,
+    ) -> None:
+        """``capacity_fraction`` sizes the pool relative to the
+        ``links`` dedicated WMTs it replaces (0.5 = half the storage).
+        """
+        if links < 1:
+            raise ValueError("need at least one link")
+        if not 0 < capacity_fraction <= 1:
+            raise ValueError("capacity_fraction must be in (0, 1]")
+        self.home = home
+        self.remote = remote
+        self.links = links
+        self.ways = ways
+        dedicated_entries = links * remote.sets * remote.ways
+        capacity = max(ways, int(dedicated_entries * capacity_fraction))
+        self.sets = max(1, capacity // ways)
+        self._table: List[List[Optional[_Entry]]] = [
+            [None] * ways for _ in range(self.sets)
+        ]
+        self._clock = 0
+        self.stats = {"installs": 0, "hits": 0, "misses": 0, "evictions": 0}
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _set_of(self, link_id: int, remote_index: int, remote_way: int) -> int:
+        key = (link_id * 0x9E3779B1 + remote_index * self.remote.ways + remote_way)
+        return (key ^ (key >> 13)) % self.sets
+
+    def _find(self, link_id: int, remote_index: int, remote_way: int):
+        row = self._table[self._set_of(link_id, remote_index, remote_way)]
+        for slot, entry in enumerate(row):
+            if (
+                entry is not None
+                and entry.link_id == link_id
+                and entry.remote_index == remote_index
+                and entry.remote_way == remote_way
+            ):
+                return row, slot, entry
+        return row, None, None
+
+    # ------------------------------------------------------------------
+    # WayMapTable-equivalent operations, per (link, slot)
+    # ------------------------------------------------------------------
+
+    def install(
+        self, link_id: int, remote_index: int, remote_way: int, value: NormalizedHomeLid
+    ) -> None:
+        self._clock += 1
+        self.stats["installs"] += 1
+        row, slot, entry = self._find(link_id, remote_index, remote_way)
+        if entry is not None:
+            entry.value = value
+            entry.stamp = self._clock
+            return
+        victim_slot = 0
+        oldest = None
+        for candidate, existing in enumerate(row):
+            if existing is None:
+                victim_slot = candidate
+                oldest = None
+                break
+            if oldest is None or existing.stamp < oldest:
+                oldest = existing.stamp
+                victim_slot = candidate
+        if row[victim_slot] is not None:
+            self.stats["evictions"] += 1
+        row[victim_slot] = _Entry(
+            link_id=link_id,
+            remote_index=remote_index,
+            remote_way=remote_way,
+            value=value,
+            stamp=self._clock,
+        )
+
+    def lookup(
+        self, link_id: int, remote_index: int, remote_way: int
+    ) -> Optional[NormalizedHomeLid]:
+        self._clock += 1
+        __, slot, entry = self._find(link_id, remote_index, remote_way)
+        if entry is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        entry.stamp = self._clock
+        return entry.value
+
+    def invalidate(self, link_id: int, remote_index: int, remote_way: int) -> Optional[NormalizedHomeLid]:
+        row, slot, entry = self._find(link_id, remote_index, remote_way)
+        if entry is None:
+            return None
+        row[slot] = None
+        return entry.value
+
+    # ------------------------------------------------------------------
+    # Storage accounting (the §IV-D argument)
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_bits(self) -> int:
+        """Payload + tag + valid. The (link, remote set, remote way)
+        key partially lives in the set index — as in any cache, only
+        the key bits not implied by the set selection are stored."""
+        payload = (self.home.index_bits - self.remote.index_bits) + self.home.way_bits
+        key_bits = bits_for(self.links) + self.remote.index_bits + self.remote.way_bits
+        set_bits = bits_for(self.sets)
+        tag = max(1, key_bits - set_bits)
+        return payload + tag + 1
+
+    @property
+    def storage_bits(self) -> int:
+        return self.sets * self.ways * self.entry_bits
+
+    def storage_vs_dedicated(self) -> float:
+        """Pool storage relative to the dedicated per-link WMTs."""
+        per_link_entry = (
+            (self.home.index_bits - self.remote.index_bits) + self.home.way_bits + 1
+        )
+        dedicated = self.links * self.remote.sets * self.remote.ways * per_link_entry
+        return self.storage_bits / dedicated
+
+
+class PooledWmtView:
+    """A per-link facade with the :class:`WayMapTable` interface."""
+
+    def __init__(self, pool: SuperWmt, link_id: int) -> None:
+        if not 0 <= link_id < pool.links:
+            raise ValueError("link_id out of range")
+        self.pool = pool
+        self.link_id = link_id
+        self.home = pool.home
+        self.remote = pool.remote
+        self._remote_index_mask = pool.remote.sets - 1
+
+    # -- normalization (same math as WayMapTable) -----------------------
+
+    def normalize(self, home_lid: LineId) -> NormalizedHomeLid:
+        home_index, home_way = home_lid.unpack(self.home.way_bits)
+        return NormalizedHomeLid(home_index >> self.remote.index_bits, home_way)
+
+    def denormalize(self, entry: NormalizedHomeLid, remote_index: int) -> LineId:
+        home_index = (entry.alias << self.remote.index_bits) | remote_index
+        return LineId.pack(home_index, entry.home_way, self.home.way_bits)
+
+    def remote_index_of(self, home_lid: LineId) -> int:
+        home_index, __ = home_lid.unpack(self.home.way_bits)
+        return home_index & self._remote_index_mask
+
+    # -- translations ----------------------------------------------------
+
+    def remote_lid_for(self, home_lid: LineId) -> Optional[LineId]:
+        remote_index = self.remote_index_of(home_lid)
+        wanted = self.normalize(home_lid)
+        for way in range(self.remote.ways):
+            value = self.pool.lookup(self.link_id, remote_index, way)
+            if value == wanted:
+                return LineId.pack(remote_index, way, self.remote.way_bits)
+        return None
+
+    def home_lid_for(self, remote_lid: LineId) -> Optional[LineId]:
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        value = self.pool.lookup(self.link_id, remote_index, remote_way)
+        if value is None:
+            return None
+        return self.denormalize(value, remote_index)
+
+    # -- maintenance -------------------------------------------------------
+
+    def install(self, home_lid: LineId, remote_lid: LineId) -> Optional[LineId]:
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        if (remote_index & self._remote_index_mask) != self.remote_index_of(home_lid):
+            raise ValueError("home line cannot map to that remote set")
+        previous = self.pool.lookup(self.link_id, remote_index, remote_way)
+        displaced = self.denormalize(previous, remote_index) if previous else None
+        self.pool.install(
+            self.link_id, remote_index, remote_way, self.normalize(home_lid)
+        )
+        return displaced
+
+    def invalidate_remote(self, remote_lid: LineId) -> Optional[LineId]:
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        previous = self.pool.invalidate(self.link_id, remote_index, remote_way)
+        if previous is None:
+            return None
+        return self.denormalize(previous, remote_index)
+
+    def invalidate_home(self, home_lid: LineId) -> Optional[LineId]:
+        remote_index = self.remote_index_of(home_lid)
+        wanted = self.normalize(home_lid)
+        for way in range(self.remote.ways):
+            value = self.pool.lookup(self.link_id, remote_index, way)
+            if value == wanted:
+                self.pool.invalidate(self.link_id, remote_index, way)
+                return LineId.pack(remote_index, way, self.remote.way_bits)
+        return None

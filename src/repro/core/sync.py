@@ -1,0 +1,103 @@
+"""Synchronization invariants and their auditor (§III-F).
+
+The event-driven synchronization itself is wired in
+:class:`repro.core.encoder.CableLinkPair`: coherence events from the
+inclusive pair drive hash-table insertion/invalidation and WMT
+maintenance on both endpoints. This module provides the *auditor* —
+an exhaustive consistency checker used by tests and failure-injection
+studies to prove the invariants hold after arbitrary access streams:
+
+I1. **WMT precision** — every valid WMT entry maps a remote (set, way)
+    that actually holds the line whose HomeLID is stored, and every
+    remote-resident line is tracked (the WMT is exact, not
+    approximate; this is what decouples CABLE from replacement
+    policy).
+I2. **Reference safety** — every line the WMT exposes as referencable
+    that is SHARED at home has identical data in both caches.
+I3. **Hash-table soundness** — hash-table entries may be stale (that
+    is tolerated by design), but every *useful* entry points at a
+    home slot; no entry can cause incorrect decompression because
+    referencability is gated by I1+I2.
+I4. **Inclusivity** — every remote line is home-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cache.line import CoherenceState
+from repro.core.encoder import CableLinkPair
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a synchronization audit."""
+
+    violations: List[str] = field(default_factory=list)
+    wmt_entries_checked: int = 0
+    remote_lines_checked: int = 0
+    hash_entries_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def audit(link: CableLinkPair) -> AuditReport:
+    """Check invariants I1–I4 on a live CABLE link pair."""
+    report = AuditReport()
+    pair = link.pair
+    wmt = link.home_encoder.wmt
+    home, remote = pair.home, pair.remote
+
+    # I4 — inclusivity.
+    for remote_lid, line in remote:
+        report.remote_lines_checked += 1
+        if not home.contains(line.tag):
+            report.violations.append(
+                f"I4: remote line {line.tag:#x} missing from home cache"
+            )
+
+    # I1 + I2 — WMT precision and reference safety.
+    for remote_lid, line in remote:
+        home_lid = wmt.home_lid_for(remote_lid)
+        if home_lid is None:
+            report.violations.append(
+                f"I1: remote slot {int(remote_lid)} holding {line.tag:#x} untracked"
+            )
+            continue
+        report.wmt_entries_checked += 1
+        home_line = home.read_by_lineid(home_lid)
+        if home_line is None:
+            report.violations.append(
+                f"I1: WMT maps remote slot {int(remote_lid)} to empty home slot"
+            )
+            continue
+        if home_line.tag != line.tag:
+            report.violations.append(
+                f"I1: WMT maps remote {line.tag:#x} to home {home_line.tag:#x}"
+            )
+            continue
+        if home_line.state is CoherenceState.SHARED:
+            if home_line.data != line.data:
+                report.violations.append(
+                    f"I2: shared line {line.tag:#x} differs between caches"
+                )
+        # Reverse direction: the forward translation must round-trip.
+        back = wmt.remote_lid_for(home_lid)
+        if back != remote_lid:
+            report.violations.append(
+                f"I1: WMT round-trip failed for line {line.tag:#x}"
+            )
+
+    # I3 — hash-table soundness: every stored LineID must at least be a
+    # plausible home slot (stale is fine; out-of-range is a bug).
+    geometry = home.geometry
+    for bucket in link.home_encoder.hash_table._buckets.values():
+        for lid in bucket:
+            report.hash_entries_checked += 1
+            index, way = lid.unpack(geometry.way_bits)
+            if not (0 <= index < geometry.sets and 0 <= way < geometry.ways):
+                report.violations.append(f"I3: hash entry {int(lid)} out of range")
+    return report

@@ -1,0 +1,156 @@
+"""The Way-Map Table (§III-D, Fig 9).
+
+The WMT lives at the *home* cache and shadows the remote cache's
+layout: one entry per remote (set, way). Each entry holds a
+*normalized HomeLID* — (alias, home way), where the alias is the home
+set index with the remote index bits stripped — plus a valid bit.
+
+Two translations come out of this single structure:
+
+- **HomeLID → RemoteLID** (compression path): derive the remote index
+  from the home index's low bits, normalize the HomeLID, and search
+  the WMT row; a hit's position *is* the remote way (Fig 9). A miss
+  means the line is not guaranteed resident remotely and cannot be a
+  reference.
+- **RemoteLID → HomeLID** (write-back path, §III-G): the remote cache
+  has no WMT and just sends its own LineID; the home cache reads
+  WMT[index][way] and denormalizes.
+
+Because it is installed/invalidated from the way-replacement info in
+every request, the WMT tracks remote contents precisely, which is what
+decouples CABLE from the replacement policy (§II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.setassoc import CacheGeometry, LineId
+
+
+@dataclass(frozen=True)
+class NormalizedHomeLid:
+    """(alias, home way): a HomeLID with the remote index bits removed."""
+
+    alias: int
+    home_way: int
+
+
+class WayMapTable:
+    """Home-side shadow of the remote cache's (set, way) layout."""
+
+    def __init__(self, home: CacheGeometry, remote: CacheGeometry) -> None:
+        if home.sets < remote.sets:
+            raise ValueError("home cache must have at least as many sets as remote")
+        if home.sets % remote.sets:
+            raise ValueError("home/remote set counts must nest (powers of two)")
+        self.home = home
+        self.remote = remote
+        self.alias_bits = home.index_bits - remote.index_bits
+        self._remote_index_mask = remote.sets - 1
+        self._entries: List[List[Optional[NormalizedHomeLid]]] = [
+            [None] * remote.ways for _ in range(remote.sets)
+        ]
+        self.stats = {"installs": 0, "invalidations": 0, "hits": 0, "misses": 0}
+
+    # ------------------------------------------------------------------
+    # Geometry / overhead
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per WMT entry: alias + home way + valid."""
+        return self.alias_bits + self.home.way_bits + 1
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entry_bits * self.remote.sets * self.remote.ways
+
+    def overhead_vs_home_data(self) -> float:
+        """WMT storage as a fraction of home-cache data (Table III)."""
+        return self.storage_bits / (self.home.size_bytes * 8)
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    def normalize(self, home_lid: LineId) -> NormalizedHomeLid:
+        home_index, home_way = home_lid.unpack(self.home.way_bits)
+        return NormalizedHomeLid(home_index >> self.remote.index_bits, home_way)
+
+    def denormalize(self, entry: NormalizedHomeLid, remote_index: int) -> LineId:
+        home_index = (entry.alias << self.remote.index_bits) | remote_index
+        return LineId.pack(home_index, entry.home_way, self.home.way_bits)
+
+    def remote_index_of(self, home_lid: LineId) -> int:
+        home_index, __ = home_lid.unpack(self.home.way_bits)
+        return home_index & self._remote_index_mask
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def remote_lid_for(self, home_lid: LineId) -> Optional[LineId]:
+        """HomeLID → RemoteLID, or None when not resident remotely."""
+        remote_index = self.remote_index_of(home_lid)
+        wanted = self.normalize(home_lid)
+        for way, entry in enumerate(self._entries[remote_index]):
+            if entry == wanted:
+                self.stats["hits"] += 1
+                return LineId.pack(remote_index, way, self.remote.way_bits)
+        self.stats["misses"] += 1
+        return None
+
+    def home_lid_for(self, remote_lid: LineId) -> Optional[LineId]:
+        """RemoteLID → HomeLID (write-back translation, §III-G)."""
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        entry = self._entries[remote_index][remote_way]
+        if entry is None:
+            return None
+        return self.denormalize(entry, remote_index)
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by sync events)
+    # ------------------------------------------------------------------
+
+    def install(self, home_lid: LineId, remote_lid: LineId) -> Optional[LineId]:
+        """Record that the home line now resides at *remote_lid*.
+
+        Returns the HomeLID previously tracked in that remote slot (the
+        displaced line), which sync uses to invalidate its signatures.
+        """
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        if (remote_index & self._remote_index_mask) != self.remote_index_of(home_lid):
+            raise ValueError("home line cannot map to that remote set")
+        previous = self._entries[remote_index][remote_way]
+        displaced = self.denormalize(previous, remote_index) if previous else None
+        self._entries[remote_index][remote_way] = self.normalize(home_lid)
+        self.stats["installs"] += 1
+        return displaced
+
+    def invalidate_remote(self, remote_lid: LineId) -> Optional[LineId]:
+        """Clear a remote slot, returning the HomeLID it tracked."""
+        remote_index, remote_way = remote_lid.unpack(self.remote.way_bits)
+        previous = self._entries[remote_index][remote_way]
+        self._entries[remote_index][remote_way] = None
+        if previous is None:
+            return None
+        self.stats["invalidations"] += 1
+        return self.denormalize(previous, remote_index)
+
+    def invalidate_home(self, home_lid: LineId) -> Optional[LineId]:
+        """Clear the slot tracking *home_lid* (home-side eviction)."""
+        remote_index = self.remote_index_of(home_lid)
+        wanted = self.normalize(home_lid)
+        for way, entry in enumerate(self._entries[remote_index]):
+            if entry == wanted:
+                self._entries[remote_index][way] = None
+                self.stats["invalidations"] += 1
+                return LineId.pack(remote_index, way, self.remote.way_bits)
+        return None
+
+    def occupancy(self) -> int:
+        return sum(
+            1 for row in self._entries for entry in row if entry is not None
+        )

@@ -1,0 +1,29 @@
+"""One module per paper table/figure; see DESIGN.md's experiment index.
+
+Every module exposes ``run(scale=..., ...) -> ExperimentResult`` and
+can be executed directly (``python -m repro.experiments.fig12``).
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    SCALES,
+    ScalePreset,
+    resolve_scale,
+    memlink_config,
+    cached_memlink,
+    clear_cache,
+    FIGURE_SCHEMES,
+    SWEEP_BENCHMARKS,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SCALES",
+    "ScalePreset",
+    "resolve_scale",
+    "memlink_config",
+    "cached_memlink",
+    "clear_cache",
+    "FIGURE_SCHEMES",
+    "SWEEP_BENCHMARKS",
+]

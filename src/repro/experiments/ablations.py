@@ -1,0 +1,92 @@
+"""Ablations beyond the paper's own sweeps (DESIGN.md §5).
+
+The paper sweeps hash-table size (Fig 21), data-access count (Fig 22)
+and link width (Fig 23); this module ablates the remaining design
+choices of §III:
+
+- **Trivial-word threshold** — the 24-bit leading zeros/ones rule of
+  Fig 6. Too loose (16) and real values get skipped as trivial; too
+  tight (31) and near-zero counters flood the hash table with
+  low-entropy signatures.
+- **Signatures indexed per line** — the paper's 2 vs 1 and 4. More
+  signatures find more matches but raise hash pressure (and hardware
+  sync cost).
+- **Hash bucket depth** — 2 LineIDs per bucket vs 1 and 4; deeper
+  buckets survive collisions but return more junk candidates for the
+  same data-access budget.
+- **Greedy CBV ranking vs naive top-coverage** — the §III-C selection
+  rule against picking the individually-best CBVs (which wastes
+  pointers on near-identical references).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import geometric_mean
+from repro.core.config import CableConfig
+from repro.experiments.base import (
+    ExperimentResult,
+    SWEEP_BENCHMARKS,
+    cached_memlink,
+)
+
+EXPERIMENT_ID = "Ablations"
+
+#: (label, CableConfig overrides) per ablation axis.
+AXES: Dict[str, List] = {
+    "trivial_threshold": [
+        ("16b", {"trivial_threshold_bits": 16}),
+        ("20b", {"trivial_threshold_bits": 20}),
+        ("24b*", {}),
+        ("28b", {"trivial_threshold_bits": 28}),
+    ],
+    "signatures_per_line": [
+        ("1", {"signatures_per_line": 1, "signature_offsets": (0,)}),
+        ("2*", {}),
+        (
+            "4",
+            {
+                "signatures_per_line": 4,
+                "signature_offsets": (0, 16, 32, 48),
+            },
+        ),
+    ],
+    "bucket_depth": [
+        ("1", {"hash_bucket_entries": 1}),
+        ("2*", {}),
+        ("4", {"hash_bucket_entries": 4}),
+    ],
+    "ranking": [
+        ("greedy*", {}),
+        ("top", {"ranking_policy": "top"}),
+    ],
+}
+
+
+def run(scale="default", benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
+    benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Design-choice ablations (CABLE geomean ratio; * = baseline)",
+        headers=["axis", "variant", "cable_geomean"],
+        paper_claim=(
+            "Baseline choices (24-bit trivial rule, 2 signatures, 2-deep "
+            "buckets, greedy ranking) hold up against the alternatives"
+        ),
+    )
+    for axis, variants in AXES.items():
+        for label, overrides in variants:
+            config = CableConfig(**overrides)
+            ratios = [
+                cached_memlink(b, "cable", scale, cable=config).effective_ratio
+                for b in benchmarks
+            ]
+            value = geometric_mean(ratios)
+            result.rows.append([axis, label, value])
+            result.summary[f"{axis}:{label}"] = value
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

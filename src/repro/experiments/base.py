@@ -1,0 +1,160 @@
+"""Shared experiment infrastructure.
+
+Every table and figure of the paper's evaluation has a module here
+exposing ``run(scale=..., benchmarks=...) -> ExperimentResult``. The
+``scale`` presets trade fidelity for runtime; all of them keep the
+paper's *ratios* between structure sizes (working set : LLC : L4 :
+gzip window) so the dictionary-size relationships every conclusion
+rests on are preserved:
+
+========= ========== ============ ==========================
+preset    accesses   LLC per thread  intended use
+========= ========== ============ ==========================
+smoke     1,500      32KB         unit/integration tests
+default   4,000      64KB         pytest-benchmark targets
+paper     20,000     256KB        EXPERIMENTS.md numbers
+========= ========== ============ ==========================
+
+Simulation results are memoized per (preset, scheme, benchmark, …) so
+figures that share runs (e.g. Fig 11/12/14/17/18 all need the same
+memory-link grid) pay for them once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.memlink import MemLinkConfig, MemLinkResult, run_memlink
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    name: str
+    accesses: int
+    llc_bytes: int
+    warmup_fraction: float = 0.25
+
+    @property
+    def ws_scale(self) -> float:
+        return self.llc_bytes / (1 * _MB)
+
+    @property
+    def l4_bytes(self) -> int:
+        return 4 * self.llc_bytes  # the paper's 1:4 LLC:L4 ratio
+
+
+SCALES: Dict[str, ScalePreset] = {
+    "smoke": ScalePreset("smoke", 1_500, 32 * 1024),
+    "default": ScalePreset("default", 4_000, 64 * 1024),
+    "paper": ScalePreset("paper", 20_000, 256 * 1024),
+}
+
+
+def resolve_scale(scale) -> ScalePreset:
+    if isinstance(scale, ScalePreset):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        known = ", ".join(SCALES)
+        raise ValueError(f"unknown scale {scale!r}; known: {known}") from None
+
+
+def memlink_config(scale, **overrides) -> MemLinkConfig:
+    preset = resolve_scale(scale)
+    config = MemLinkConfig(
+        accesses=preset.accesses,
+        llc_bytes=preset.llc_bytes,
+        l4_bytes=preset.l4_bytes,
+        ws_scale=preset.ws_scale,
+        warmup_fraction=preset.warmup_fraction,
+    )
+    if overrides:
+        config = config.scaled(**overrides)
+    return config
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows plus a summary and paper notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+    paper_claim: str = ""
+
+    def render(self) -> str:
+        from repro.analysis.report import format_table
+
+        parts = [
+            format_table(
+                self.headers, self.rows, title=f"{self.experiment_id}: {self.title}"
+            )
+        ]
+        if self.summary:
+            summary = ", ".join(
+                f"{k}={v:.3g}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in self.summary.items()
+            )
+            parts.append(f"summary: {summary}")
+        if self.paper_claim:
+            parts.append(f"paper: {self.paper_claim}")
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Memoized simulation grid
+# ----------------------------------------------------------------------
+
+_CACHE: Dict[Tuple, MemLinkResult] = {}
+
+
+def cached_memlink(
+    benchmark: str, scheme: str, scale, **overrides
+) -> MemLinkResult:
+    """Run (or fetch) one memory-link simulation."""
+    preset = resolve_scale(scale)
+    key = (
+        "memlink",
+        benchmark,
+        scheme,
+        preset.name,
+        tuple(sorted(overrides.items(), key=lambda kv: kv[0])),
+    )
+    if key not in _CACHE:
+        config = memlink_config(preset, scheme=scheme, **overrides)
+        _CACHE[key] = run_memlink(benchmark, config)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+#: The scheme lineup of Figs 11–13 in plotting order.
+FIGURE_SCHEMES: Tuple[str, ...] = (
+    "bdi",
+    "cpack",
+    "cpack128",
+    "lbe256",
+    "gzip",
+    "cable",
+)
+
+#: Representative non-trivial benchmarks for the sensitivity sweeps
+#: (§VI-E excludes zero-dominant benchmarks; sweeps use a spread of
+#: CABLE-favoured, gzip-favoured and neutral workloads to keep bench
+#: runtimes sane — the full-suite figures cover all 29).
+SWEEP_BENCHMARKS: Tuple[str, ...] = (
+    "dealII",
+    "gcc",
+    "gobmk",
+    "omnetpp",
+    "perlbench",
+    "sphinx3",
+)

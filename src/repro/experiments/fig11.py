@@ -1,0 +1,52 @@
+"""Fig 11 — off-chip link compression normalized to CPACK.
+
+Per benchmark, each scheme's effective compression ratio divided by
+CPACK's. The paper's headline from this view: CABLE provides 46.9%
+better compression than a system that already deploys CPACK.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean, geometric_mean
+from repro.experiments.base import (
+    ExperimentResult,
+    FIGURE_SCHEMES,
+    cached_memlink,
+)
+from repro.trace.profiles import ALL_BENCHMARKS
+
+EXPERIMENT_ID = "Fig 11"
+
+
+def run(scale="default", benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
+    benchmarks = list(benchmarks or ALL_BENCHMARKS)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Off-chip link compression (normalized to CPACK)",
+        headers=["benchmark"] + [s for s in FIGURE_SCHEMES if s != "cpack"],
+        paper_claim="CABLE averages ~1.47x over a CPACK-equipped system",
+    )
+    cable_over_cpack = []
+    for benchmark in benchmarks:
+        cpack = cached_memlink(benchmark, "cpack", scale).effective_ratio
+        row = [benchmark]
+        for scheme in FIGURE_SCHEMES:
+            if scheme == "cpack":
+                continue
+            ratio = cached_memlink(benchmark, scheme, scale).effective_ratio
+            row.append(ratio / cpack)
+            if scheme == "cable":
+                cable_over_cpack.append(ratio / cpack)
+        result.rows.append(row)
+    result.summary = {
+        "cable_vs_cpack_mean": arithmetic_mean(cable_over_cpack),
+        "cable_vs_cpack_geomean": geometric_mean(cable_over_cpack),
+        "cable_pct_better": 100.0 * (arithmetic_mean(cable_over_cpack) - 1.0),
+    }
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

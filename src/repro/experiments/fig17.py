@@ -1,0 +1,54 @@
+"""Fig 17 — single-thread performance degradation from codec latency.
+
+With one thread and abundant bandwidth, compression only *adds*
+latency on the critical path of every off-chip fill. The overhead is
+proportional to comp+decomp latency (Table IV): CPACK 8/8 barely
+registers, gzip 64/32 hurts most, CABLE 32/16 (48 cycles worst case)
+sits at ~5% average, ~10% worst — the price §VI-D's on/off control
+eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.experiments.base import ExperimentResult, cached_memlink
+from repro.sim.timing import TimingModel
+from repro.trace.profiles import ALL_BENCHMARKS
+
+EXPERIMENT_ID = "Fig 17"
+
+_SCHEMES = ("cpack", "gzip", "cable")
+
+
+def run(scale="default", benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
+    benchmarks = list(benchmarks or ALL_BENCHMARKS)
+    timing = TimingModel()
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Single-thread performance degradation (%)",
+        headers=["benchmark"] + list(_SCHEMES),
+        paper_claim=(
+            "Overhead proportional to codec latency; CABLE ~5% average, "
+            "~10% worst"
+        ),
+    )
+    per_scheme: Dict[str, list] = {s: [] for s in _SCHEMES}
+    for benchmark in benchmarks:
+        row = [benchmark]
+        for scheme in _SCHEMES:
+            sim = cached_memlink(benchmark, scheme, scale)
+            degradation = 100.0 * timing.degradation(sim)
+            per_scheme[scheme].append(degradation)
+            row.append(degradation)
+        result.rows.append(row)
+    result.summary = {
+        f"{s}_mean_pct": arithmetic_mean(per_scheme[s]) for s in _SCHEMES
+    }
+    result.summary["cable_max_pct"] = max(per_scheme["cable"])
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,59 @@
+"""Fig 22 — data-access-count sensitivity.
+
+After pre-ranking, CABLE reads the top-N candidates from the data
+array. The paper finds low counts resilient — even one access stays
+within ~80% of 64 accesses at worst — because duplicated LineIDs in
+the hash-table output (several signatures agreeing) are a strong
+signal that pre-ranking exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import geometric_mean
+from repro.core.config import CableConfig
+from repro.experiments.base import (
+    ExperimentResult,
+    SWEEP_BENCHMARKS,
+    cached_memlink,
+)
+
+EXPERIMENT_ID = "Fig 22"
+
+ACCESS_COUNTS = (1, 2, 4, 6, 16, 64)
+
+
+def run(scale="default", benchmarks: Optional[Sequence[str]] = None) -> ExperimentResult:
+    benchmarks = list(benchmarks or SWEEP_BENCHMARKS)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Compression vs data-access count (relative to 64)",
+        headers=["benchmark"] + [str(c) for c in ACCESS_COUNTS],
+        paper_claim="One access stays within ~80% of 64 at worst",
+    )
+    per_count: Dict[int, List[float]] = {c: [] for c in ACCESS_COUNTS}
+    for benchmark in benchmarks:
+        baseline = cached_memlink(
+            benchmark, "cable", scale, cable=CableConfig(data_access_count=64)
+        ).effective_ratio
+        row: List = [benchmark]
+        for count in ACCESS_COUNTS:
+            sim = cached_memlink(
+                benchmark,
+                "cable",
+                scale,
+                cable=CableConfig(data_access_count=count),
+            )
+            relative = sim.effective_ratio / baseline
+            per_count[count].append(relative)
+            row.append(relative)
+        result.rows.append(row)
+    result.summary = {
+        str(c): geometric_mean(per_count[c]) for c in ACCESS_COUNTS
+    }
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,17 @@
+"""Off-chip link substrate: flit packing, bandwidth and bit toggles."""
+
+from repro.link.channel import LinkModel, LinkStats, PackedTransport
+from repro.link.toggles import ToggleCounter, flitize, count_toggles
+from repro.link.wire import WireFormat, encode_payload, decode_payload
+
+__all__ = [
+    "LinkModel",
+    "LinkStats",
+    "PackedTransport",
+    "ToggleCounter",
+    "flitize",
+    "count_toggles",
+    "WireFormat",
+    "encode_payload",
+    "decode_payload",
+]

@@ -1,0 +1,437 @@
+"""Bit-exact wire codec for CABLE payloads.
+
+:mod:`repro.link.toggles` serializes payloads for toggle statistics;
+this module goes further: every engine's token stream has an *exact*
+bit-level encoder **and parser**, so a payload can be flattened to
+real bits and reconstructed on the far side with nothing but the bits,
+the link's negotiated configuration and the receiver's cache — the
+full production path.
+
+Field widths must be derivable by the receiver, so they depend only on
+negotiated configuration plus on-wire fields (the 2-bit reference
+count determines the temporary-dictionary size and hence pointer
+widths), never on payload content.
+
+Layout (§III-E): ``flag(1)`` — 0 = raw line follows; 1 = compressed:
+``refcount(2)``, ``refcount × RemoteLID``, then the engine-specific
+DIFF. The ORACLE engine is a hybrid (exact DP or LBE, whichever is
+smaller), so its DIFF starts with one discriminator bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cache.setassoc import LineId
+from repro.compression.base import CompressedBlock
+from repro.core.payload import FLAG_BITS, Payload, PayloadKind, REFCOUNT_BITS
+from repro.util.bits import BitReader, BitWriter, bits_for
+from repro.util.words import WORD_BYTES
+
+
+@dataclass(frozen=True)
+class WireFormat:
+    """Link-negotiated constants both endpoints share."""
+
+    line_bytes: int = 64
+    remotelid_bits: int = 17
+    #: CPACK dictionary entries (per-engine config, negotiated).
+    cpack_entries: int = 16
+    #: LBE stream-window bytes for refcount-0 payloads. CABLE's
+    #: no-reference path compresses with an *empty* temporary window
+    #: (0, the default); a stream-LBE deployment would negotiate its
+    #: persistent window size here (e.g. 256).
+    lbe_window_bytes: int = 0
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // WORD_BYTES
+
+    # -- width derivations (§: widths must be config+header driven) ----
+
+    def lbe_offset_bits(self, reference_count: int) -> int:
+        if reference_count:
+            window = max(reference_count * self.line_bytes, WORD_BYTES)
+        else:
+            window = max(self.lbe_window_bytes, WORD_BYTES)
+        return bits_for(window // WORD_BYTES + self.words_per_line)
+
+    def lbe_reference_offset_bits(self, reference_count: int) -> int:
+        window = max(reference_count * self.line_bytes, WORD_BYTES)
+        return bits_for(window // WORD_BYTES + self.words_per_line)
+
+    def cpack_index_bits(self, reference_count: int) -> int:
+        if reference_count:
+            capacity = max(
+                self.cpack_entries, reference_count * self.words_per_line
+            )
+        else:
+            capacity = self.cpack_entries
+        return bits_for(capacity)
+
+    def oracle_offset_bits(self, reference_count: int) -> int:
+        return bits_for(max(reference_count * self.line_bytes, 1))
+
+
+# ======================================================================
+# Per-engine token codecs: (tokens, writer, widths) and the inverse
+# ======================================================================
+
+# ---------------------------------------------------------------- LBE
+
+def _lbe_encode(tokens, writer: BitWriter, off_bits: int) -> None:
+    for token in tokens:
+        kind = token[0]
+        if kind == "zero":
+            writer.write(0b00, 2)
+            writer.write(token[1] - 1, 4)
+        elif kind == "copy":
+            writer.write(0b01, 2)
+            writer.write(token[1], off_bits)
+            writer.write(token[2] - 1, 4)
+        elif kind == "lit":
+            writer.write(0b10, 2)
+            writer.write(len(token[1]) - 1, 4)
+            for word in token[1]:
+                writer.write(word, 32)
+        elif kind == "byte":
+            writer.write(0b11, 2)
+            writer.write(len(token[1]) - 1, 4)
+            for word in token[1]:
+                writer.write(word, 8)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown LBE token {kind!r}")
+
+
+def _lbe_decode(reader: BitReader, off_bits: int, words_per_line: int):
+    tokens: List[Tuple] = []
+    produced = 0
+    while produced < words_per_line:
+        op = reader.read(2)
+        if op == 0b00:
+            length = reader.read(4) + 1
+            tokens.append(("zero", length))
+            produced += length
+        elif op == 0b01:
+            offset = reader.read(off_bits)
+            length = reader.read(4) + 1
+            tokens.append(("copy", offset, length))
+            produced += length
+        elif op == 0b10:
+            count = reader.read(4) + 1
+            tokens.append(("lit", tuple(reader.read(32) for _ in range(count))))
+            produced += count
+        else:
+            count = reader.read(4) + 1
+            tokens.append(("byte", tuple(reader.read(8) for _ in range(count))))
+            produced += count
+    return tokens
+
+
+# -------------------------------------------------------------- CPACK
+
+def _cpack_encode(tokens, writer: BitWriter, idx_bits: int) -> None:
+    for token in tokens:
+        kind = token[0]
+        if kind == "zzzz":
+            writer.write(0b00, 2)
+        elif kind == "xxxx":
+            writer.write(0b01, 2)
+            writer.write(token[1], 32)
+        elif kind == "mmmm":
+            writer.write(0b10, 2)
+            writer.write(token[1], idx_bits)
+        elif kind == "mmxx":
+            writer.write(0b1100, 4)
+            writer.write(token[1], idx_bits)
+            writer.write(token[2], 16)
+        elif kind == "zzzx":
+            writer.write(0b1101, 4)
+            writer.write(token[1], 8)
+        elif kind == "mmmx":
+            writer.write(0b1110, 4)
+            writer.write(token[1], idx_bits)
+            writer.write(token[2], 8)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown CPACK token {kind!r}")
+
+
+def _cpack_decode(reader: BitReader, idx_bits: int, words_per_line: int):
+    tokens: List[Tuple] = []
+    for _ in range(words_per_line):
+        code = reader.read(2)
+        if code == 0b00:
+            tokens.append(("zzzz",))
+        elif code == 0b01:
+            tokens.append(("xxxx", reader.read(32)))
+        elif code == 0b10:
+            tokens.append(("mmmm", reader.read(idx_bits)))
+        else:
+            sub = reader.read(2)
+            if sub == 0b00:
+                tokens.append(("mmxx", reader.read(idx_bits), reader.read(16)))
+            elif sub == 0b01:
+                tokens.append(("zzzx", reader.read(8)))
+            elif sub == 0b10:
+                tokens.append(("mmmx", reader.read(idx_bits), reader.read(8)))
+            else:  # pragma: no cover - defensive
+                raise ValueError("invalid CPACK code 1111")
+    return tokens
+
+
+# --------------------------------------------------------------- zero
+
+def _zero_encode(tokens, writer: BitWriter) -> None:
+    word_count, nonzero = tokens
+    nonzero_map = dict(nonzero)
+    for i in range(word_count):
+        writer.write(1 if i in nonzero_map else 0, 1)
+    for __, value in nonzero:
+        writer.write(value, 32)
+
+
+def _zero_decode(reader: BitReader, words_per_line: int):
+    mask = [reader.read(1) for _ in range(words_per_line)]
+    nonzero = tuple(
+        (i, reader.read(32)) for i, bit in enumerate(mask) if bit
+    )
+    return (words_per_line, nonzero)
+
+
+# ---------------------------------------------------------------- BDI
+
+_BDI_LAYOUTS = ("zeros", "rep", "b8d1", "b8d2", "b8d4", "b4d1", "b4d2", "b2d1", "raw")
+_BDI_SIZES = {
+    "b8d1": (8, 1),
+    "b8d2": (8, 2),
+    "b8d4": (8, 4),
+    "b4d1": (4, 1),
+    "b4d2": (4, 2),
+    "b2d1": (2, 1),
+}
+
+
+def _signed(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+def _bdi_encode(tokens, writer: BitWriter, line_bytes: int) -> None:
+    layout = tokens[0]
+    writer.write(_BDI_LAYOUTS.index(layout), 4)
+    if layout == "raw":
+        writer.write_bytes(tokens[1])
+        return
+    if layout == "zeros":
+        writer.write(0, 8)
+        return
+    if layout == "rep":
+        writer.write(tokens[1] & ((1 << 64) - 1), 64)
+        return
+    __, base, mask, deltas, __line = tokens
+    base_size, delta_size = _BDI_SIZES[layout]
+    writer.write(base & ((1 << (base_size * 8)) - 1), base_size * 8)
+    for use_base in mask:
+        writer.write(1 if use_base else 0, 1)
+    for delta in deltas:
+        writer.write(delta & ((1 << (delta_size * 8)) - 1), delta_size * 8)
+
+
+def _bdi_decode(reader: BitReader, line_bytes: int):
+    layout = _BDI_LAYOUTS[reader.read(4)]
+    if layout == "raw":
+        return ("raw", reader.read_bytes(line_bytes))
+    if layout == "zeros":
+        reader.read(8)
+        return ("zeros", 0, (), (), line_bytes)
+    if layout == "rep":
+        value = _signed(reader.read(64), 64)
+        return ("rep", value, (), (), line_bytes)
+    base_size, delta_size = _BDI_SIZES[layout]
+    elements = line_bytes // base_size
+    base = _signed(reader.read(base_size * 8), base_size * 8)
+    mask = tuple(bool(reader.read(1)) for _ in range(elements))
+    deltas = tuple(
+        _signed(reader.read(delta_size * 8), delta_size * 8)
+        for _ in range(elements)
+    )
+    return (layout, base, mask, deltas, line_bytes)
+
+
+# --------------------------------------------------------------- LZSS
+
+def _lzss_encode(tokens, writer: BitWriter) -> None:
+    for token in tokens:
+        if token[0] == "lit":
+            writer.write(0, 1)
+            writer.write(token[1], 8)
+        else:
+            writer.write(1, 1)
+            writer.write(token[1], 15)
+            writer.write(token[2] - 3, 8)
+
+
+def _lzss_decode(reader: BitReader, line_bytes: int):
+    tokens: List[Tuple] = []
+    produced = 0
+    while produced < line_bytes:
+        if reader.read(1) == 0:
+            tokens.append(("lit", reader.read(8)))
+            produced += 1
+        else:
+            offset = reader.read(15)
+            length = reader.read(8) + 3
+            tokens.append(("match", offset, length))
+            produced += length
+    return tokens
+
+
+# -------------------------------------------------------------- ORACLE
+
+def _oracle_dp_encode(tokens, writer: BitWriter, off_bits: int) -> None:
+    for token in tokens:
+        if token[0] == "lit":
+            writer.write(0, 1)
+            writer.write(token[1], 8)
+        elif token[0] == "zero":
+            writer.write(0b10, 2)
+            writer.write(token[1] - 1, 6)
+        else:
+            writer.write(0b11, 2)
+            writer.write(token[1], off_bits)
+            writer.write(token[2] - 1, 6)
+
+
+def _oracle_dp_decode(reader: BitReader, off_bits: int, line_bytes: int):
+    tokens: List[Tuple] = []
+    produced = 0
+    while produced < line_bytes:
+        if reader.read(1) == 0:
+            tokens.append(("lit", reader.read(8)))
+            produced += 1
+        elif reader.read(1) == 0:
+            length = reader.read(6) + 1
+            tokens.append(("zero", length))
+            produced += length
+        else:
+            offset = reader.read(off_bits)
+            length = reader.read(6) + 1
+            tokens.append(("copy", offset, length))
+            produced += length
+    return tokens
+
+
+# ======================================================================
+# Payload-level codec
+# ======================================================================
+
+def encode_payload(payload: Payload, fmt: WireFormat = WireFormat()) -> BitWriter:
+    """Flatten a payload to its exact wire bits."""
+    writer = BitWriter()
+    if payload.kind is PayloadKind.UNCOMPRESSED:
+        writer.write(0, FLAG_BITS)
+        writer.write_bytes(payload.raw)
+        return writer
+    writer.write(1, FLAG_BITS)
+    refcount = len(payload.remote_lids)
+    writer.write(refcount, REFCOUNT_BITS)
+    for lid in payload.remote_lids:
+        writer.write(int(lid) & ((1 << fmt.remotelid_bits) - 1), fmt.remotelid_bits)
+    block = payload.block
+    algorithm = block.algorithm
+    if algorithm.startswith("lbe"):
+        _lbe_encode(block.tokens, writer, fmt.lbe_offset_bits(refcount))
+    elif algorithm.startswith("cpack"):
+        _cpack_encode(block.tokens, writer, fmt.cpack_index_bits(refcount))
+    elif algorithm.startswith("zero"):
+        _zero_encode(block.tokens, writer)
+    elif algorithm.startswith("bdi"):
+        _bdi_encode(block.tokens, writer, fmt.line_bytes)
+    elif algorithm.startswith("gzip"):
+        _lzss_encode(block.tokens, writer)
+    elif algorithm.startswith("oracle"):
+        writer.write(0, 1)  # hybrid discriminator: 0 = exact DP
+        _oracle_dp_encode(block.tokens, writer, fmt.oracle_offset_bits(refcount))
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"no wire codec for engine {algorithm!r}")
+    return writer
+
+
+def encode_oracle_hybrid_lbe(payload: Payload, fmt: WireFormat = WireFormat()) -> BitWriter:
+    """The ORACLE hybrid's other arm: an LBE-encoded block under the
+    oracle discriminator (used when LBE beat the DP)."""
+    writer = BitWriter()
+    writer.write(1, FLAG_BITS)
+    refcount = len(payload.remote_lids)
+    writer.write(refcount, REFCOUNT_BITS)
+    for lid in payload.remote_lids:
+        writer.write(int(lid) & ((1 << fmt.remotelid_bits) - 1), fmt.remotelid_bits)
+    writer.write(1, 1)  # discriminator: 1 = LBE arm
+    _lbe_encode(payload.block.tokens, writer, fmt.lbe_reference_offset_bits(refcount))
+    return writer
+
+
+@dataclass
+class DecodedPayload:
+    """What the receiver recovers from the raw bits alone."""
+
+    kind: PayloadKind
+    remote_lids: Tuple[LineId, ...]
+    block: CompressedBlock  # tokens reconstructed; size_bits = wire bits
+    raw: bytes = b""
+
+
+def decode_payload(
+    data: bytes,
+    bit_count: int,
+    engine_name: str,
+    fmt: WireFormat = WireFormat(),
+) -> DecodedPayload:
+    """Parse wire bits back into a decompressible payload."""
+    reader = BitReader(data, bit_count)
+    if reader.read(FLAG_BITS) == 0:
+        raw = reader.read_bytes(fmt.line_bytes)
+        return DecodedPayload(
+            kind=PayloadKind.UNCOMPRESSED, remote_lids=(), raw=raw,
+            block=CompressedBlock("raw", fmt.line_bytes * 8, fmt.line_bytes),
+        )
+    refcount = reader.read(REFCOUNT_BITS)
+    lids = tuple(LineId(reader.read(fmt.remotelid_bits)) for _ in range(refcount))
+    words = fmt.words_per_line
+    if engine_name.startswith("lbe"):
+        tokens = _lbe_decode(reader, fmt.lbe_offset_bits(refcount), words)
+        algorithm = "lbe"
+    elif engine_name.startswith("cpack"):
+        tokens = _cpack_decode(reader, fmt.cpack_index_bits(refcount), words)
+        algorithm = engine_name
+    elif engine_name.startswith("zero"):
+        tokens = _zero_decode(reader, words)
+        algorithm = "zero"
+    elif engine_name.startswith("bdi"):
+        tokens = _bdi_decode(reader, fmt.line_bytes)
+        algorithm = "bdi"
+    elif engine_name.startswith("gzip"):
+        tokens = _lzss_decode(reader, fmt.line_bytes)
+        algorithm = "gzip"
+    elif engine_name.startswith("oracle"):
+        if reader.read(1) == 0:
+            tokens = _oracle_dp_decode(
+                reader, fmt.oracle_offset_bits(refcount), fmt.line_bytes
+            )
+            algorithm = "oracle"
+        else:
+            tokens = _lbe_decode(
+                reader, fmt.lbe_reference_offset_bits(refcount), words
+            )
+            algorithm = "lbe"
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"no wire codec for engine {engine_name!r}")
+    kind = (
+        PayloadKind.WITH_REFERENCES if refcount else PayloadKind.NO_REFERENCE
+    )
+    block = CompressedBlock(
+        algorithm, bit_count, fmt.line_bytes, tuple(tokens)
+    )
+    return DecodedPayload(kind=kind, remote_lids=lids, block=block)

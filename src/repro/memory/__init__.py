@@ -1,0 +1,13 @@
+"""DRAM substrate: DDR3 timing and the FCFS memory controller
+behind the L4 buffer (Table IV)."""
+
+from repro.memory.dram import Ddr3Timing, DramBank, DramChannel
+from repro.memory.controller import FcfsController, MemoryRequest
+
+__all__ = [
+    "Ddr3Timing",
+    "DramBank",
+    "DramChannel",
+    "FcfsController",
+    "MemoryRequest",
+]

@@ -1,0 +1,111 @@
+"""DDR3 DRAM device timing (Table IV: DDR3-1600, 9-9-9 sub-timings).
+
+The paper's memory controllers are FCFS with a *closed-page* policy:
+every access activates a row, bursts one cache line, and precharges
+immediately (auto-precharge). With 9-9-9 sub-timings at an 800MHz
+DRAM clock (1600MT/s):
+
+- tRCD = 9 clocks (activate → column command)
+- CL   = 9 clocks (column command → first data)
+- tRP  = 9 clocks (precharge → next activate, overlapped after data)
+- burst: a 64B line over a 64-bit channel is 8 beats = 4 clocks.
+
+So an unloaded closed-page read returns data after
+``tRCD + CL + BL/2`` = 22 clocks = 27.5ns, and a bank can start its
+next activate ``tRCD + CL + BL/2 + tRP`` after the previous one —
+the service interval that bank conflicts serialize on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Ddr3Timing:
+    """Device timing in DRAM-clock cycles."""
+
+    clock_hz: float = 800e6  # DDR3-1600: 800MHz clock, 1600MT/s
+    trcd: int = 9
+    cl: int = 9
+    trp: int = 9
+    burst_beats: int = 8  # 64B over a 64-bit channel
+    banks: int = 8
+
+    @property
+    def burst_clocks(self) -> int:
+        """Double data rate: two beats per clock."""
+        return self.burst_beats // 2
+
+    @property
+    def access_clocks(self) -> int:
+        """Closed-page access latency to last data beat."""
+        return self.trcd + self.cl + self.burst_clocks
+
+    @property
+    def bank_cycle_clocks(self) -> int:
+        """Minimum spacing between activates to one bank."""
+        return self.trcd + self.cl + self.burst_clocks + self.trp
+
+    @property
+    def access_ns(self) -> float:
+        return self.access_clocks / self.clock_hz * 1e9
+
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """2 × clock × bus width: 12.8GB/s for DDR3-1600 x64."""
+        return 2 * self.clock_hz * 8
+
+    def clocks_to_ns(self, clocks: float) -> float:
+        return clocks / self.clock_hz * 1e9
+
+
+@dataclass
+class DramBank:
+    """One bank's availability clock (closed-page: no open-row state)."""
+
+    next_ready_clock: int = 0
+
+    def service(self, arrival_clock: int, timing: Ddr3Timing) -> int:
+        """Begin an access at or after *arrival_clock*; returns the
+        clock when data is fully returned."""
+        start = max(arrival_clock, self.next_ready_clock)
+        done = start + timing.access_clocks
+        self.next_ready_clock = start + timing.bank_cycle_clocks
+        return done
+
+
+@dataclass
+class DramChannel:
+    """One 64-bit channel: banks plus a shared data bus."""
+
+    timing: Ddr3Timing = field(default_factory=Ddr3Timing)
+    banks: List[DramBank] = field(default_factory=list)
+    _bus_free_clock: int = 0
+    stats: dict = field(default_factory=lambda: {"accesses": 0, "bank_conflicts": 0})
+
+    def __post_init__(self) -> None:
+        if not self.banks:
+            self.banks = [DramBank() for _ in range(self.timing.banks)]
+
+    def bank_of(self, line_addr: int) -> int:
+        return line_addr % len(self.banks)
+
+    def access(self, line_addr: int, arrival_clock: int) -> int:
+        """Service one line read/write; returns completion clock."""
+        self.stats["accesses"] += 1
+        bank = self.banks[self.bank_of(line_addr)]
+        if bank.next_ready_clock > arrival_clock:
+            self.stats["bank_conflicts"] += 1
+        # The data burst also needs the shared bus.
+        start = max(arrival_clock, bank.next_ready_clock)
+        data_start = start + self.timing.trcd + self.timing.cl
+        data_start = max(data_start, self._bus_free_clock)
+        done = data_start + self.timing.burst_clocks
+        self._bus_free_clock = done
+        bank.next_ready_clock = (
+            start + self.timing.bank_cycle_clocks
+            + max(0, data_start - (start + self.timing.trcd + self.timing.cl))
+        )
+        return done

@@ -1,0 +1,51 @@
+"""System-simulation substrate: link simulations and analytical models."""
+
+from repro.sim.memlink import (
+    MemLinkConfig,
+    MemLinkResult,
+    MemLinkSimulation,
+    run_memlink,
+    run_suite,
+    scale_profile,
+    STREAM_SCHEMES,
+)
+from repro.sim.multichip import MultiChipConfig, MultiChipSimulation, run_multichip
+from repro.sim.timing import TimingModel, COMPRESSION_LATENCIES
+from repro.sim.throughput import ThroughputModel, QUAD_CHANNEL_BW
+from repro.sim.energy import EnergyModel, EnergyParameters, EnergyBreakdown
+from repro.sim.area import table_iii, AreaReport
+from repro.sim.control import BandwidthController, evaluate_control
+from repro.sim.queueing import (
+    ThreadSpec,
+    simulate_group,
+    grouped_throughput,
+    queueing_speedup,
+)
+
+__all__ = [
+    "MemLinkConfig",
+    "MemLinkResult",
+    "MemLinkSimulation",
+    "run_memlink",
+    "run_suite",
+    "scale_profile",
+    "STREAM_SCHEMES",
+    "MultiChipConfig",
+    "MultiChipSimulation",
+    "run_multichip",
+    "TimingModel",
+    "COMPRESSION_LATENCIES",
+    "ThroughputModel",
+    "QUAD_CHANNEL_BW",
+    "EnergyModel",
+    "EnergyParameters",
+    "EnergyBreakdown",
+    "table_iii",
+    "AreaReport",
+    "BandwidthController",
+    "evaluate_control",
+    "ThreadSpec",
+    "simulate_group",
+    "grouped_throughput",
+    "queueing_speedup",
+]

@@ -1,0 +1,133 @@
+"""Area-overhead model (Table III, §IV-D).
+
+CABLE adds two SRAM structures (the hash table and the WMT) plus the
+search-pipeline logic. The SRAM overheads follow directly from cache
+geometry:
+
+- a *full-sized* hash table has as many LineID slots as the home
+  cache has lines, at LineID width (index+way bits); scaling is a
+  fraction of that;
+- a WMT mirrors the remote cache's (set, way) layout with entries of
+  alias+way bits (the paper's entry counts exclude the valid bit,
+  which we follow for Table III fidelity).
+
+The logic numbers are the paper's OpenPiton 32nm synthesis results,
+carried as constants (we cannot re-synthesize RTL here; see
+DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.setassoc import CacheGeometry
+from repro.util.bits import bits_for
+
+#: §IV-D: synthesized search-pipeline logic, in NAND2-equivalent gates
+#: and as a fraction of an OpenPiton L2 slice / tile.
+SEARCH_LOGIC_GATES = {
+    "combinational": (3377, 0.0071, 0.0028),
+    "buffers": (1247, 0.0026, 0.0010),
+    "noncombinational": (2407, 0.0051, 0.0020),
+}
+SEARCH_LOGIC_TOTAL = (7031, 0.0148, 0.0058)
+
+#: §IV-D: compressor-engine area estimate at 32nm.
+COMPRESSOR_AREA_MM2 = 0.02
+
+
+def hash_table_bits(home: CacheGeometry, scale: float = 1.0) -> int:
+    """Storage of a hash table scaled relative to "full-sized".
+
+    Full-sized = one LineID slot per home-cache line (two-deep buckets
+    over lines/2 entries — same product), at the home LineID width.
+    """
+    slots = int(home.lines * scale)
+    return slots * home.lineid_bits
+
+
+def hash_table_overhead(home: CacheGeometry, scale: float = 1.0) -> float:
+    """Hash-table storage as a fraction of the cache's data array."""
+    return hash_table_bits(home, scale) / (home.size_bytes * 8)
+
+
+def wmt_bits(home: CacheGeometry, remote: CacheGeometry) -> int:
+    """WMT storage: remote (set × way) entries of alias+way bits."""
+    alias_bits = home.index_bits - remote.index_bits
+    entry_bits = alias_bits + home.way_bits
+    return remote.sets * remote.ways * entry_bits
+
+
+def wmt_overhead(home: CacheGeometry, remote: CacheGeometry) -> float:
+    """WMT storage as a fraction of the home cache's data array."""
+    return wmt_bits(home, remote) / (home.size_bytes * 8)
+
+
+def remotelid_bits(remote: CacheGeometry) -> int:
+    return remote.lineid_bits
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """One column of Table III."""
+
+    label: str
+    hash_table: float
+    way_map_table: float
+    remotelid_width: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hash_table_pct": self.hash_table * 100,
+            "wmt_pct": self.way_map_table * 100,
+            "remotelid_bits": self.remotelid_width,
+        }
+
+
+def table_iii() -> Dict[str, AreaReport]:
+    """Regenerate Table III's three configurations.
+
+    - *Off-chip / Buffer*: 16MB 8-way DRAM buffer (home) backing an
+      8MB 8-way LLC (remote); half-sized hash table at the buffer.
+    - *Off-chip / On-chip cache*: the LLC side with its full-sized
+      table (no WMT — only home caches carry WMTs).
+    - *Multi-chip*: 8MB LLCs on both ends; quarter-sized hash tables
+      and one full WMT per point-to-point link (three per chip in a
+      4-node system).
+    """
+    buffer_geom = CacheGeometry(16 * 1024 * 1024, 8)
+    llc_geom = CacheGeometry(8 * 1024 * 1024, 8)
+
+    offchip_buffer = AreaReport(
+        label="Off-chip: Buffer",
+        hash_table=hash_table_overhead(buffer_geom, scale=0.5),
+        way_map_table=wmt_overhead(buffer_geom, llc_geom),
+        remotelid_width=remotelid_bits(llc_geom),
+    )
+    offchip_llc = AreaReport(
+        label="Off-chip: On-chip Cache",
+        hash_table=hash_table_overhead(llc_geom, scale=1.0),
+        way_map_table=0.0,
+        remotelid_width=remotelid_bits(llc_geom) + 1,  # 18b HomeLIDs
+    )
+    per_link_wmt = wmt_overhead(llc_geom, llc_geom)
+    multichip = AreaReport(
+        label="Multi-chip: Last-level caches",
+        hash_table=hash_table_overhead(llc_geom, scale=0.25) * 3,
+        way_map_table=per_link_wmt * 3,
+        remotelid_width=remotelid_bits(llc_geom),
+    )
+    return {
+        "offchip_buffer": offchip_buffer,
+        "offchip_llc": offchip_llc,
+        "multichip": multichip,
+    }
+
+
+def full_sized_fraction(cache_bytes: int = 16 * 1024 * 1024, line_bytes: int = 64) -> float:
+    """§IV-D's rule of thumb: a full-sized table ≈ 3.5% of the cache
+    (16MB cache, 18-bit HomeLIDs); 1.6% with 128-byte lines."""
+    lines = cache_bytes // line_bytes
+    lid_bits = bits_for(lines)  # index+way bits == log2(lines)
+    return lines * lid_bits / (cache_bytes * 8)

@@ -1,0 +1,112 @@
+"""On/off compression control (§VI-D).
+
+Compression costs latency; it only pays when bandwidth is scarce. The
+paper's mitigation: sample effective bandwidth utilization with a 1ms
+period, switch compression off below 80% utilization and on above
+90%. This nullifies the single-thread latency penalty while giving up
+only ~2.3% throughput.
+
+:class:`BandwidthController` is the hysteresis controller;
+:func:`evaluate_control` runs it against a utilization trace derived
+from thread count (the duty cycle a thread population imposes on the
+link) and reports the latency penalty and throughput retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.sim.memlink import MemLinkResult
+from repro.sim.throughput import ThroughputModel
+from repro.sim.timing import TimingModel
+
+
+@dataclass
+class BandwidthController:
+    """Hysteresis on/off switch sampled at a fixed period."""
+
+    off_below: float = 0.80
+    on_above: float = 0.90
+    period_s: float = 1e-3
+    enabled: bool = True
+
+    def sample(self, utilization: float) -> bool:
+        """Feed one utilization sample; returns the new state."""
+        if self.enabled and utilization < self.off_below:
+            self.enabled = False
+        elif not self.enabled and utilization > self.on_above:
+            self.enabled = True
+        return self.enabled
+
+    def run(self, utilizations: Iterable[float]) -> List[bool]:
+        return [self.sample(u) for u in utilizations]
+
+
+@dataclass
+class ControlOutcome:
+    """What the controller achieves for one workload."""
+
+    duty_cycle: float  # fraction of samples with compression on
+    degradation_always_on: float
+    degradation_controlled: float
+    throughput_retained: float  # vs always-on, at high thread count
+
+
+def link_utilization(result: MemLinkResult, threads: int, model: ThroughputModel = None) -> float:
+    """Mean utilization the workload imposes at a given thread count."""
+    model = model or ThroughputModel()
+    demand = threads * result.offchip_raw_bytes / max(
+        model.timing.execution_seconds(result, scheme="raw", compressed=False), 1e-12
+    )
+    return min(1.0, demand / model.total_bandwidth)
+
+
+def evaluate_control(
+    result: MemLinkResult,
+    single_thread_samples: int = 100,
+    high_thread_count: int = 2048,
+    controller: BandwidthController = None,
+) -> ControlOutcome:
+    """Run the §VI-D experiment for one benchmark result.
+
+    Single-threaded, utilization sits far below 80% → the controller
+    turns compression off and the latency penalty vanishes. At 2048
+    threads the link saturates → compression stays on, costing only
+    the duty-cycle transients.
+    """
+    timing = TimingModel()
+    throughput = ThroughputModel(timing=timing)
+    controller = controller or BandwidthController()
+
+    # Single-thread phase: constant low utilization.
+    low_util = link_utilization(result, threads=1, model=throughput)
+    states = controller.run([low_util] * single_thread_samples)
+    on_fraction = sum(states) / len(states)
+    degradation_always = timing.degradation(result)
+    degradation_controlled = degradation_always * on_fraction
+
+    # High-thread phase: saturated link keeps compression on except
+    # during off→on detection transients (one sample of hysteresis
+    # per excursion; modelled as a small duty-cycle loss).
+    controller_hi = BandwidthController()
+    high_util = link_utilization(result, threads=high_thread_count, model=throughput)
+    # Utilization dips below the off threshold occasionally (phase
+    # behaviour); the paper reports a 2.3% average throughput cost.
+    samples = []
+    for i in range(single_thread_samples):
+        dip = 0.25 if (i % 20) == 0 else 0.0
+        samples.append(max(0.0, high_util - dip))
+    states_hi = controller_hi.run(samples)
+    on_fraction_hi = sum(states_hi) / len(states_hi)
+    raw_tp = throughput.throughput(result, high_thread_count, compressed=False)
+    comp_tp = throughput.throughput(result, high_thread_count, compressed=True)
+    controlled_tp = on_fraction_hi * comp_tp + (1 - on_fraction_hi) * raw_tp
+    retained = controlled_tp / comp_tp if comp_tp else 1.0
+
+    return ControlOutcome(
+        duty_cycle=on_fraction,
+        degradation_always_on=degradation_always,
+        degradation_controlled=degradation_controlled,
+        throughput_retained=retained,
+    )

@@ -1,0 +1,141 @@
+"""Memory-subsystem energy model (Tables II & V, Fig 18).
+
+The paper's energy study is event-count-driven: every component has a
+static power and/or a per-event dynamic energy (CACTI 5.3 at 32nm,
+the Micron DDR3 power calculator, and published I/O-link estimates),
+and the simulator's event counts do the rest. We reproduce exactly
+that: counts come from :class:`~repro.sim.memlink.MemLinkResult`,
+execution time from :class:`~repro.sim.timing.TimingModel`.
+
+Component conventions follow Fig 18's breakdown:
+
+- ``sram`` — static + dynamic energy of L1/L2/LLC/DRAM-buffer;
+- ``link`` — off-chip I/O, proportional to flits (scrambled link:
+  energy tracks transaction count, not bit values, §VI-D);
+- ``dram`` — DRAM array accesses behind the L4;
+- ``engine`` — CABLE+LBE compression/decompression operations;
+- ``comp_sram`` — the extra eDRAM/SRAM reads the search performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.memlink import MemLinkResult
+from repro.sim.timing import TimingModel
+
+#: Table II — orders of magnitude (printed by the Table II bench).
+TABLE_II_ENERGY_SCALE = {
+    "CPACK compression": (50e-12, 1),
+    "Cache access (1MB slice)": (100e-12, 2),
+    "Off-chip IO link": (15e-9, 300),
+    "DRAM access": (50.6e-9, 1000),
+}
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Table V plus the I/O-link estimate of §VI-A."""
+
+    l1_static_w: float = 7.0e-3
+    l1_dynamic_j: float = 61.0e-12
+    l2_static_w: float = 20.0e-3
+    l2_dynamic_j: float = 32.0e-12
+    llc_static_w: float = 169.7e-3
+    llc_dynamic_j: float = 92.1e-12
+    buffer_static_w: float = 22.0e-3
+    buffer_dynamic_j: float = 149.4e-12
+    compress_j: float = 1000.0e-12  # CABLE+LBE compression op
+    decompress_j: float = 200.0e-12
+    dram_access_j: float = 50.6e-9
+    #: 25nJ per 64-byte transfer (≈50% of a DRAM access, §VI-A).
+    link_j_per_64b: float = 25.0e-9
+    #: Estimated upstream activity per instruction (L1 refs) and per
+    #: LLC access (L2 refs); these affect the common SRAM bar only.
+    l1_refs_per_instr: float = 0.35
+    l2_refs_per_llc_access: float = 1.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component for one simulated region."""
+
+    sram: float = 0.0
+    link: float = 0.0
+    dram: float = 0.0
+    engine: float = 0.0
+    comp_sram: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.sram + self.link + self.dram + self.engine + self.comp_sram
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sram": self.sram,
+            "link": self.link,
+            "dram": self.dram,
+            "engine": self.engine,
+            "comp_sram": self.comp_sram,
+        }
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> Dict[str, float]:
+        if baseline.total == 0:
+            return {k: 0.0 for k in self.as_dict()}
+        return {k: v / baseline.total for k, v in self.as_dict().items()}
+
+
+class EnergyModel:
+    """Turns simulation event counts into Fig 18 bars."""
+
+    def __init__(
+        self,
+        params: EnergyParameters = None,
+        timing: TimingModel = None,
+    ) -> None:
+        self.params = params or EnergyParameters()
+        self.timing = timing or TimingModel()
+
+    def breakdown(self, result: MemLinkResult, compressed: bool = True) -> EnergyBreakdown:
+        """Energy for one run; ``compressed=False`` prices the same
+        run with raw link traffic and no codec work (Fig 18's left
+        bars)."""
+        p = self.params
+        out = EnergyBreakdown()
+        seconds = self.timing.execution_seconds(
+            result, scheme=result.scheme if compressed else "raw", compressed=compressed
+        )
+
+        static = (
+            p.l1_static_w + p.l2_static_w + p.llc_static_w + p.buffer_static_w
+        ) * seconds
+        llc_accesses = result.llc_hits + result.llc_misses
+        dynamic = (
+            result.instructions * p.l1_refs_per_instr * p.l1_dynamic_j
+            + llc_accesses * p.l2_refs_per_llc_access * p.l2_dynamic_j
+            + llc_accesses * p.llc_dynamic_j
+            + result.llc_misses * p.buffer_dynamic_j
+        )
+        out.sram = static + dynamic
+
+        flits = result.flits if compressed else result.raw_flits
+        line_flits = 64 * 8 / result.link.width_bits
+        out.link = flits / line_flits * p.link_j_per_64b
+
+        out.dram = result.l4_misses * p.dram_access_j
+
+        if compressed:
+            out.engine = (
+                result.encodes * p.compress_j + result.decodes * p.decompress_j
+            )
+            out.comp_sram = result.search_data_reads * p.buffer_dynamic_j
+        return out
+
+    def saving(self, result: MemLinkResult) -> float:
+        """Fractional memory-subsystem energy saving vs uncompressed."""
+        base = self.breakdown(result, compressed=False).total
+        comp = self.breakdown(result, compressed=True).total
+        if base == 0:
+            return 0.0
+        return 1.0 - comp / base

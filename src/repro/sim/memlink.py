@@ -1,0 +1,417 @@
+"""Off-chip memory-link simulation (use case ① of Fig 1).
+
+Trace-driven model of the paper's primary configuration: an on-chip
+LLC (the *remote* cache) backed by an off-chip DRAM-buffer L4 (the
+*home* cache, inclusive, 4× the LLC by default), joined by a 16-bit
+9.6GHz link. Every fill and write-back crossing the link is encoded by
+the selected scheme:
+
+- ``"raw"`` — no compression (the baseline of every figure);
+- ``"cpack"``, ``"bdi"``, ``"cpack128"``, ``"lbe256"``, ``"gzip"``,
+  ``"zero"`` — stream link compressors (one independent codec state
+  per direction, carried across the stream);
+- ``"cable"`` — the full CABLE machinery
+  (:class:`repro.core.encoder.CableLinkPair`) with the engine chosen
+  by ``cable.engine`` (CABLE+LBE by default, Fig 20 sweeps others).
+
+Results report both the *payload* compression ratio and the
+*effective* (flit-quantized) bandwidth ratio the paper plots, plus
+the event counts the timing/energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.cache.hierarchy import InclusivePair, TransferEvent
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.compression.registry import make_engine
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair, DecompressionError
+from repro.link.channel import LinkModel
+from repro.link.toggles import ToggleCounter
+from repro.core.payload import Payload, PayloadKind
+from repro.trace.profiles import BenchmarkProfile, get_profile
+from repro.trace.stream import SharedBackingStore, WorkloadModel
+
+_MB = 1024 * 1024
+
+#: Stream schemes and whether their codec state spans the stream.
+STREAM_SCHEMES = ("zero", "bdi", "cpack", "cpack128", "lbe256", "gzip")
+
+
+def scale_profile(profile: BenchmarkProfile, ws_scale: float) -> BenchmarkProfile:
+    """Shrink/grow a profile's footprint, keeping family density.
+
+    Working-set and family sizes scale together so the expected number
+    of resident family members per LLC line stays what it is at full
+    size; ``members_per_family`` is preserved (it is a property of the
+    program's data structures, not its footprint).
+    """
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(
+        profile,
+        working_set_lines=max(64, int(profile.working_set_lines * ws_scale)),
+    )
+
+
+@dataclass(frozen=True)
+class MemLinkConfig:
+    """Parameters of one memory-link simulation."""
+
+    scheme: str = "cable"
+    cable: CableConfig = field(default_factory=CableConfig)
+    llc_bytes: int = 1 * _MB
+    llc_ways: int = 8
+    l4_bytes: int = 4 * _MB
+    l4_ways: int = 16
+    line_bytes: int = 64
+    link: LinkModel = field(default_factory=LinkModel)
+    accesses: int = 20_000
+    warmup_fraction: float = 0.25
+    seed: int = 0
+    verify: bool = True
+    count_toggles: bool = False
+    #: Scales each benchmark's working-set (and family) footprint.
+    #: Use it together with smaller caches to run the same
+    #: cache-pressure regime quickly (tests set ws_scale =
+    #: llc_bytes / 1MB to mirror the paper's 1MB-per-thread ratio).
+    ws_scale: float = 1.0
+    #: When running scaled-down (llc_bytes below the paper's 1MB per
+    #: thread), shrink gzip's stream window proportionally so the
+    #: window:LLC dictionary-size ratio — the quantity every
+    #: CABLE-vs-gzip comparison hinges on — is preserved. Full-size
+    #: runs keep the paper's 32KB window.
+    scale_gzip_window: bool = True
+    llc_reference_bytes: int = 1 * _MB
+
+    def scaled(self, **kwargs) -> "MemLinkConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class MemLinkResult:
+    """Everything one run produces."""
+
+    benchmark: str
+    scheme: str
+    accesses: int = 0
+    instructions: float = 0.0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    l4_hits: int = 0
+    l4_misses: int = 0
+    writebacks: int = 0
+    transfers: int = 0
+    raw_bits: int = 0
+    payload_bits: int = 0
+    flits: int = 0
+    raw_flits: int = 0
+    search_data_reads: int = 0
+    encodes: int = 0
+    decodes: int = 0
+    with_references: int = 0
+    reference_count: int = 0
+    toggles_raw: int = 0
+    toggles_compressed: int = 0
+    per_transfer_bits: List[int] = field(default_factory=list)
+    link: LinkModel = field(default_factory=LinkModel)
+
+    @property
+    def raw_ratio(self) -> float:
+        """Payload (pre-flit) compression ratio."""
+        if self.payload_bits == 0:
+            return 1.0
+        return self.raw_bits / self.payload_bits
+
+    @property
+    def effective_ratio(self) -> float:
+        """Flit-quantized bandwidth ratio — what the paper plots."""
+        if self.flits == 0:
+            return 1.0
+        return self.raw_flits / self.flits
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.llc_hits + self.llc_misses
+        return self.llc_misses / total if total else 0.0
+
+    @property
+    def offchip_bytes(self) -> float:
+        """Compressed bytes crossing the link (flit-quantized)."""
+        return self.flits * self.link.width_bits / 8
+
+    @property
+    def offchip_raw_bytes(self) -> float:
+        return self.raw_flits * self.link.width_bits / 8
+
+    @property
+    def toggle_reduction(self) -> float:
+        if self.toggles_raw == 0:
+            return 0.0
+        return 1.0 - self.toggles_compressed / self.toggles_raw
+
+
+class _StreamCodec:
+    """A stream link compressor on one direction, with verification."""
+
+    def __init__(self, engine_name: str, verify: bool, window_bytes=None) -> None:
+        if window_bytes is not None:
+            from repro.compression.lzss import LzssCompressor
+
+            self.encoder = LzssCompressor(window_bytes=window_bytes)
+            self.decoder = LzssCompressor(window_bytes=window_bytes)
+        else:
+            self.encoder = make_engine(engine_name)
+            self.decoder = make_engine(engine_name)
+        self.verify = verify
+
+    def transfer(self, data: bytes) -> int:
+        """Compress one line; returns payload bits (with 1-bit flag)."""
+        block = self.encoder.compress(data)
+        raw_bits = len(data) * 8
+        if block.size_bits >= raw_bits:
+            # Sent uncompressed; the decoder window must stay in sync,
+            # which engines do by decompressing their own block.
+            if self.verify or self.decoder.stateful:
+                decoded = self.decoder.decompress(block)
+                if self.verify and decoded != data:
+                    raise DecompressionError("stream codec round-trip failed")
+            return 1 + raw_bits
+        if self.verify or self.decoder.stateful:
+            decoded = self.decoder.decompress(block)
+            if self.verify and decoded != data:
+                raise DecompressionError("stream codec round-trip failed")
+        return 1 + block.size_bits
+
+
+class MemLinkSimulation:
+    """One benchmark × one scheme on the memory link."""
+
+    def __init__(self, benchmark, config: MemLinkConfig) -> None:
+        self.config = config
+        profile = benchmark if isinstance(benchmark, BenchmarkProfile) else get_profile(benchmark)
+        if config.ws_scale != 1.0:
+            profile = scale_profile(profile, config.ws_scale)
+        self.profile = profile
+        self.workload = WorkloadModel(profile, seed=config.seed)
+        self.backing = SharedBackingStore([self.workload])
+        self.home = SetAssociativeCache(
+            CacheGeometry(config.l4_bytes, config.l4_ways, config.line_bytes),
+            name="l4",
+        )
+        self.remote = SetAssociativeCache(
+            CacheGeometry(config.llc_bytes, config.llc_ways, config.line_bytes),
+            name="llc",
+        )
+        self.pair = InclusivePair(
+            self.home, self.remote, self.backing.read, self.backing.write
+        )
+        self.result = MemLinkResult(
+            benchmark=profile.name, scheme=config.scheme, link=config.link
+        )
+        self._line_bits = config.line_bytes * 8
+        self._raw_flits_per_line = config.link.flits_for(self._line_bits)
+        self._counting = False
+        self._toggle_raw: Optional[ToggleCounter] = None
+        self._toggle_comp: Optional[ToggleCounter] = None
+        if config.count_toggles:
+            self._toggle_raw = ToggleCounter(config.link.width_bits)
+            self._toggle_comp = ToggleCounter(config.link.width_bits)
+
+        self.cable: Optional[CableLinkPair] = None
+        self._fill_codec: Optional[_StreamCodec] = None
+        self._wb_codec: Optional[_StreamCodec] = None
+        scheme = config.scheme
+        if scheme == "cable":
+            self.cable = CableLinkPair(config.cable, self.pair, verify=config.verify)
+            self.cable.keep_transfers = False
+            self.pair.add_observer(self._observe_cable)
+        elif scheme == "raw":
+            self.pair.add_observer(self._observe_raw)
+        elif scheme in STREAM_SCHEMES:
+            window = None
+            if scheme == "gzip" and config.scale_gzip_window:
+                scale = config.llc_bytes / config.llc_reference_bytes
+                if scale < 1.0:
+                    window = max(1024, int(32 * 1024 * scale))
+            self._fill_codec = _StreamCodec(scheme, config.verify, window)
+            self._wb_codec = _StreamCodec(scheme, config.verify, window)
+            self.pair.add_observer(self._observe_stream)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+
+    # ------------------------------------------------------------------
+    # Observers (one per scheme family)
+    # ------------------------------------------------------------------
+
+    def _record(self, payload_bits: int, data: bytes, payload=None) -> None:
+        if not self._counting:
+            return
+        result = self.result
+        result.transfers += 1
+        result.raw_bits += len(data) * 8
+        result.payload_bits += payload_bits
+        result.flits += self.config.link.flits_for(payload_bits)
+        result.raw_flits += self._raw_flits_per_line
+        result.per_transfer_bits.append(payload_bits)
+        if self._toggle_raw is not None:
+            self._toggle_raw.record_raw(data)
+            if payload is not None:
+                self._toggle_comp.record_payload(payload)
+
+    def _observe_raw(self, event: TransferEvent) -> None:
+        if event.kind not in ("fill", "writeback"):
+            return
+        payload = None
+        if self._toggle_comp is not None:
+            payload = Payload(
+                kind=PayloadKind.UNCOMPRESSED,
+                line_addr=event.line_addr,
+                line_bytes=len(event.data),
+                raw=event.data,
+            )
+        # An uncompressed link carries no flag bit — raw lines exactly.
+        self._record(len(event.data) * 8, event.data, payload)
+
+    def _observe_stream(self, event: TransferEvent) -> None:
+        if event.kind == "fill":
+            codec = self._fill_codec
+        elif event.kind == "writeback":
+            codec = self._wb_codec
+        else:
+            return
+        bits = codec.transfer(event.data)
+        self._record(bits, event.data, None)
+        if self._toggle_comp is not None and self._counting:
+            # Toggle content for stream schemes: a stateless re-encode
+            # (reusing the live encoder would disturb its window). The
+            # bit content differs slightly from the stream encoding but
+            # has the same entropy character.
+            engine = make_engine(self.config.scheme)
+            payload = Payload(
+                kind=PayloadKind.NO_REFERENCE,
+                line_addr=event.line_addr,
+                line_bytes=len(event.data),
+                block=engine.compress(event.data),
+            )
+            self._toggle_comp.record_payload(payload)
+
+    def _observe_cable(self, event: TransferEvent) -> None:
+        if event.kind not in ("fill", "writeback"):
+            return
+        # CableLinkPair (registered first) has already produced the
+        # payload; pull it from its accounting.
+        payload_bits = self._last_cable_bits
+        self._record(payload_bits, event.data, self._last_cable_payload)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    _last_cable_bits: int = 0
+    _last_cable_payload = None
+
+    def run(self) -> MemLinkResult:
+        config = self.config
+        warmup = int(config.accesses * config.warmup_fraction)
+        if self.cable is not None:
+            # Intercept cable accounting to know each payload's size.
+            original_account = self.cable._account
+
+            def hooked(direction, event, payload, search):
+                self._last_cable_bits = payload.size_bits
+                self._last_cable_payload = payload
+                original_account(direction, event, payload, search)
+
+            self.cable._account = hooked
+        for i, access in enumerate(self.workload.accesses(config.accesses)):
+            if i == warmup:
+                self._start_counting()
+            self.pair.access(
+                access.line_addr,
+                is_write=access.is_write,
+                write_data=access.write_data,
+            )
+        self._finish()
+        return self.result
+
+    def _start_counting(self) -> None:
+        self._counting = True
+        self._hits0 = self.pair.stats["remote_hits"]
+        self._misses0 = self.pair.stats["remote_misses"]
+        self._l4h0 = self.pair.stats["home_hits"]
+        self._l4m0 = self.pair.stats["home_misses"]
+        self._wb0 = self.pair.stats["writebacks"]
+        if self.cable is not None:
+            self._reads0 = self.home.stats["data_reads"] + self.remote.stats["data_reads"]
+            self._enc0 = self.cable.home_encoder.stats["encodes"]
+            self._dec0 = self.cable.remote_decoder.stats["decodes"]
+            self._wref0 = self.cable.home_encoder.stats["with_references"]
+            self._refn0 = self.cable.home_encoder.stats["reference_count"]
+
+    def _finish(self) -> None:
+        if not self._counting:
+            # Tiny runs may never leave warmup; count everything then.
+            self._start_counting()
+            self._hits0 = self._misses0 = self._l4h0 = self._l4m0 = self._wb0 = 0
+            if self.cable is not None:
+                self._reads0 = self._enc0 = self._dec0 = self._wref0 = self._refn0 = 0
+        result = self.result
+        stats = self.pair.stats
+        result.llc_hits = stats["remote_hits"] - self._hits0
+        result.llc_misses = stats["remote_misses"] - self._misses0
+        result.l4_hits = stats["home_hits"] - self._l4h0
+        result.l4_misses = stats["home_misses"] - self._l4m0
+        result.writebacks = stats["writebacks"] - self._wb0
+        result.accesses = result.llc_hits + result.llc_misses
+        result.instructions = result.accesses / self.profile.llc_apki * 1000.0
+        if self.cable is not None:
+            result.search_data_reads = (
+                self.home.stats["data_reads"]
+                + self.remote.stats["data_reads"]
+                - self._reads0
+            )
+            result.encodes = self.cable.home_encoder.stats["encodes"] - self._enc0
+            result.decodes = self.cable.remote_decoder.stats["decodes"] - self._dec0
+            result.with_references = (
+                self.cable.home_encoder.stats["with_references"] - self._wref0
+            )
+            result.reference_count = (
+                self.cable.home_encoder.stats["reference_count"] - self._refn0
+            )
+        else:
+            result.encodes = result.transfers
+            result.decodes = result.transfers
+        if self._toggle_raw is not None:
+            result.toggles_raw = self._toggle_raw.toggles
+            result.toggles_compressed = self._toggle_comp.toggles
+
+
+def run_memlink(benchmark, config: Optional[MemLinkConfig] = None, **overrides) -> MemLinkResult:
+    """Convenience wrapper: simulate one benchmark on the memory link."""
+    config = config or MemLinkConfig()
+    if overrides:
+        config = config.scaled(**overrides)
+    return MemLinkSimulation(benchmark, config).run()
+
+
+def run_suite(
+    benchmarks,
+    config: Optional[MemLinkConfig] = None,
+    schemes=("cable",),
+    **overrides,
+) -> Dict[str, Dict[str, MemLinkResult]]:
+    """Simulate a benchmark × scheme grid; results[benchmark][scheme]."""
+    config = config or MemLinkConfig()
+    if overrides:
+        config = config.scaled(**overrides)
+    results: Dict[str, Dict[str, MemLinkResult]] = {}
+    for benchmark in benchmarks:
+        row: Dict[str, MemLinkResult] = {}
+        for scheme in schemes:
+            row[scheme] = run_memlink(benchmark, config.scaled(scheme=scheme))
+        results[benchmark] = row
+    return results

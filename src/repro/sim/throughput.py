@@ -1,0 +1,90 @@
+"""Many-thread throughput model (Fig 14).
+
+The paper's argument: manycores tolerate latency but drown in
+bandwidth. Each thread runs the single-thread workload; all threads
+share the quad-channel off-chip link (76.8GB/s). Threads are split
+into groups of eight that share bandwidth *competitively* — the
+statistical-multiplexing refinement of §VI-A — so one memory hog can
+soak up a stalled neighbour's headroom within its group.
+
+Per thread: ``time = max(compute_time, group_traffic / group_bw)``
+with compute_time from the timing model (codec latency included) and
+traffic from the memory-link simulation (compressed bytes). System
+throughput is total instructions per second; Fig 14 plots the speedup
+over the uncompressed link at the same thread count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.memlink import MemLinkResult
+from repro.sim.timing import TimingModel
+
+#: Table IV: quad-channel 16-bit @ 9.6GHz for the throughput studies.
+QUAD_CHANNEL_BW = 4 * 19.2e9
+GROUP_SIZE = 8
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """Bandwidth-sharing throughput estimator."""
+
+    total_bandwidth: float = QUAD_CHANNEL_BW
+    group_size: int = GROUP_SIZE
+    timing: TimingModel = TimingModel()
+
+    def thread_time(
+        self, result: MemLinkResult, threads: int, compressed: bool = True
+    ) -> float:
+        """Seconds for one thread's simulated region at *threads* load.
+
+        All threads run replicas of the same workload (the paper's
+        Fig 14a setup), so within a group every member has the same
+        demand and the group's bandwidth divides evenly; the group
+        structure still matters for mixed workloads (used by the
+        multiprogram studies).
+        """
+        compute = self.timing.execution_cycles(
+            result, compressed=compressed
+        ) / self.timing.core_hz
+        bw_per_thread = self.total_bandwidth / threads
+        bytes_moved = (
+            result.offchip_bytes if compressed else result.offchip_raw_bytes
+        )
+        transfer = bytes_moved / bw_per_thread
+        return max(compute, transfer)
+
+    def throughput(
+        self, result: MemLinkResult, threads: int, compressed: bool = True
+    ) -> float:
+        """Instructions per second across all threads."""
+        time = self.thread_time(result, threads, compressed=compressed)
+        if time <= 0:
+            return 0.0
+        return threads * result.instructions / time
+
+    def speedup(self, compressed_result: MemLinkResult, raw_result: MemLinkResult, threads: int) -> float:
+        """Fig 14's metric: throughput vs the uncompressed link.
+
+        ``raw_result`` is the same benchmark simulated with
+        ``scheme="raw"`` (traffic identical in lines, byte volume
+        uncompressed)."""
+        base = self.throughput(raw_result, threads, compressed=False)
+        comp = self.throughput(compressed_result, threads, compressed=True)
+        if base == 0:
+            return 1.0
+        return comp / base
+
+    def speedup_curve(
+        self,
+        compressed_result: MemLinkResult,
+        raw_result: MemLinkResult,
+        thread_counts=(256, 512, 1024, 2048),
+    ) -> Dict[int, float]:
+        """Fig 14b: speedup across thread counts."""
+        return {
+            n: self.speedup(compressed_result, raw_result, n)
+            for n in thread_counts
+        }

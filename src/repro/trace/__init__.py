@@ -1,0 +1,33 @@
+"""Synthetic SPEC2006-like workload substrate (see DESIGN.md §2)."""
+
+from repro.trace.profiles import (
+    SPEC2006,
+    ALL_BENCHMARKS,
+    NON_TRIVIAL,
+    ZERO_DOMINANT,
+    BenchmarkProfile,
+    get_profile,
+)
+from repro.trace.stream import Access, WorkloadModel, SharedBackingStore
+from repro.trace.mixes import (
+    TABLE_VI_MIXES,
+    MultiprogramWorkload,
+    TaggedAccess,
+)
+from repro.trace.patterns import PATTERN_GENERATORS
+
+__all__ = [
+    "SPEC2006",
+    "ALL_BENCHMARKS",
+    "NON_TRIVIAL",
+    "ZERO_DOMINANT",
+    "BenchmarkProfile",
+    "get_profile",
+    "Access",
+    "WorkloadModel",
+    "SharedBackingStore",
+    "TABLE_VI_MIXES",
+    "MultiprogramWorkload",
+    "TaggedAccess",
+    "PATTERN_GENERATORS",
+]

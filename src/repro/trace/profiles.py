@@ -1,0 +1,317 @@
+"""SPEC2006 benchmark profiles — the workload substitution.
+
+Each profile parameterizes the synthetic generator in
+:mod:`repro.trace.stream` so that the *off-chip data stream* of the
+benchmark reproduces the compression characteristics the paper
+reports, not its instruction-level behaviour:
+
+- ``pattern_weights`` control the per-line content mix (see
+  :mod:`repro.trace.patterns` for who compresses what);
+- ``family_*`` control inter-line similarity: how much of the
+  footprint consists of near-duplicate copies of archetype lines, how
+  mutated and how (byte-)shifted the copies are — the axis separating
+  CABLE from small-dictionary and stream-window schemes;
+- ``working_set_lines``/``locality``/``seq_run`` shape reuse
+  distances and therefore LLC hit rates and how far apart similar
+  lines land in the miss stream (inside gzip's 32KB window or only
+  inside the LLC-sized CABLE dictionary);
+- ``llc_apki`` (LLC accesses per kilo-instruction) feeds the timing
+  and throughput models.
+
+The classification of benchmarks (zero-dominant, CABLE-favoured,
+gzip-favoured, compute-intensive) follows the paper's own grouping in
+Fig 12 and §VI-B plus published SPEC2006 memory characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Synthetic-workload parameters for one SPEC2006 benchmark."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    working_set_lines: int
+    #: Probability an accessed line belongs to an archetype family
+    #: (positional near-duplicates — CABLE's food).
+    family_weight: float
+    #: Average family size in lines; family members scatter across the
+    #: whole footprint, far apart in the miss stream.
+    members_per_family: int
+    #: Max 32-bit word edits applied to each family copy.
+    mutation_words: int
+    #: Probability a family copy is byte-shifted (breaks word-aligned
+    #: CBV matching, favours gzip/ORACLE).
+    shift_prob: float
+    #: Content mix for non-family lines (see PATTERN_GENERATORS).
+    pattern_weights: Dict[str, float]
+    #: Fraction of accesses that are stores.
+    write_fraction: float
+    #: Probability the next access continues a sequential run.
+    locality: float
+    #: Zipf-style skew of random jumps (higher → tighter hot set).
+    reuse_skew: float
+    #: LLC accesses per kilo-instruction (memory intensity).
+    llc_apki: float
+    #: In the paper's zero-dominant group (excluded from sensitivity
+    #: and multiprogram studies, §VI-C/§VI-E)?
+    zero_dominant: bool = False
+    #: Family members appear in contiguous *clusters* of this many
+    #: lines (arrays of similar objects): within-cluster similarity is
+    #: short-range (visible to gzip's stream window under sequential
+    #: scans), cross-cluster similarity is long-range (visible only to
+    #: an LLC-sized dictionary).
+    cluster_lines: int = 4
+
+    @property
+    def family_count(self) -> int:
+        family_lines = max(1, int(self.working_set_lines * self.family_weight))
+        return max(1, family_lines // max(1, self.members_per_family))
+
+
+def _profile(**kwargs) -> BenchmarkProfile:
+    return BenchmarkProfile(**kwargs)
+
+
+_K = 1024
+
+#: All 29 SPEC2006 benchmarks.
+SPEC2006: Dict[str, BenchmarkProfile] = {}
+
+
+def _register(profile: BenchmarkProfile) -> None:
+    SPEC2006[profile.name] = profile
+
+
+# ----------------------------------------------------------------------
+# Zero-dominant group (Fig 12's right-hand group: >=16x for everyone).
+# Their off-chip traffic is dominated by zero/constant lines.
+# ----------------------------------------------------------------------
+
+_register(_profile(
+    name="mcf", suite="int", working_set_lines=512 * _K,
+    family_weight=0.30, members_per_family=24, mutation_words=1, shift_prob=0.0,
+    pattern_weights={"zero": 0.90, "repeat": 0.06, "small_int": 0.030, "pointer": 0.008, "random": 0.002},
+    write_fraction=0.22, locality=0.35, reuse_skew=1.6, llc_apki=75.0,
+    zero_dominant=True,
+))
+_register(_profile(
+    name="lbm", suite="fp", working_set_lines=400 * _K,
+    family_weight=0.35, members_per_family=32, mutation_words=1, shift_prob=0.0,
+    pattern_weights={"zero": 0.91, "repeat": 0.05, "float": 0.015, "small_int": 0.023, "random": 0.002},
+    write_fraction=0.45, locality=0.80, reuse_skew=1.1, llc_apki=42.0,
+    zero_dominant=True,
+))
+_register(_profile(
+    name="GemsFDTD", suite="fp", working_set_lines=384 * _K,
+    family_weight=0.35, members_per_family=24, mutation_words=1, shift_prob=0.0,
+    pattern_weights={"zero": 0.90, "repeat": 0.055, "float": 0.018, "small_int": 0.025, "random": 0.002},
+    write_fraction=0.30, locality=0.75, reuse_skew=1.2, llc_apki=28.0,
+    zero_dominant=True,
+))
+_register(_profile(
+    name="milc", suite="fp", working_set_lines=320 * _K,
+    family_weight=0.32, members_per_family=24, mutation_words=1, shift_prob=0.0,
+    pattern_weights={"zero": 0.87, "repeat": 0.065, "float": 0.028, "small_int": 0.035, "random": 0.002},
+    write_fraction=0.30, locality=0.65, reuse_skew=1.2, llc_apki=30.0,
+    zero_dominant=True,
+))
+_register(_profile(
+    name="libquantum", suite="int", working_set_lines=256 * _K,
+    family_weight=0.25, members_per_family=32, mutation_words=0, shift_prob=0.0,
+    pattern_weights={"zero": 0.91, "repeat": 0.07, "small_int": 0.018, "random": 0.002},
+    write_fraction=0.25, locality=0.90, reuse_skew=1.0, llc_apki=28.0,
+    zero_dominant=True,
+))
+_register(_profile(
+    name="bwaves", suite="fp", working_set_lines=320 * _K,
+    family_weight=0.35, members_per_family=24, mutation_words=1, shift_prob=0.0,
+    pattern_weights={"zero": 0.89, "repeat": 0.06, "float": 0.025, "small_int": 0.023, "random": 0.002},
+    write_fraction=0.28, locality=0.85, reuse_skew=1.1, llc_apki=22.0,
+    zero_dominant=True,
+))
+
+# ----------------------------------------------------------------------
+# CABLE-favoured benchmarks (SVI-B: dealII, tonto, zeusmp, gobmk):
+# lots of positional object copies scattered beyond gzip's window.
+# ----------------------------------------------------------------------
+
+_register(_profile(
+    name="dealII", suite="fp", working_set_lines=96 * _K,
+    family_weight=0.88, members_per_family=28, mutation_words=1, shift_prob=0.01,
+    pattern_weights={"float": 0.40, "struct": 0.25, "small_int": 0.15, "zero": 0.15, "random": 0.05},
+    write_fraction=0.20, locality=0.45, reuse_skew=1.3, llc_apki=6.0,
+))
+_register(_profile(
+    name="tonto", suite="fp", working_set_lines=64 * _K,
+    family_weight=0.85, members_per_family=24, mutation_words=1, shift_prob=0.01,
+    pattern_weights={"float": 0.45, "struct": 0.20, "small_int": 0.15, "zero": 0.15, "random": 0.05},
+    write_fraction=0.22, locality=0.40, reuse_skew=1.3, llc_apki=2.5,
+))
+_register(_profile(
+    name="zeusmp", suite="fp", working_set_lines=128 * _K,
+    family_weight=0.80, members_per_family=30, mutation_words=1, shift_prob=0.01,
+    pattern_weights={"float": 0.50, "small_int": 0.15, "zero": 0.25, "random": 0.10},
+    write_fraction=0.30, locality=0.55, reuse_skew=1.2, llc_apki=9.0,
+))
+_register(_profile(
+    name="gobmk", suite="int", working_set_lines=48 * _K,
+    family_weight=0.80, members_per_family=24, mutation_words=1, shift_prob=0.02,
+    pattern_weights={"struct": 0.35, "small_int": 0.30, "pointer": 0.15, "zero": 0.15, "random": 0.05},
+    write_fraction=0.25, locality=0.35, reuse_skew=1.4, llc_apki=1.2,
+))
+
+# ----------------------------------------------------------------------
+# gzip-favoured benchmarks: byte-shifted copies, text, and stream-local
+# redundancy inside the 32KB window.
+# ----------------------------------------------------------------------
+
+_register(_profile(
+    name="perlbench", suite="int", working_set_lines=40 * _K,
+    family_weight=0.55, members_per_family=18, mutation_words=2, shift_prob=0.50,
+    pattern_weights={"text": 0.35, "struct": 0.25, "pointer": 0.15, "zero": 0.15, "random": 0.10},
+    write_fraction=0.25, locality=0.60, reuse_skew=1.4, llc_apki=2.2,
+))
+_register(_profile(
+    name="xalancbmk", suite="int", working_set_lines=80 * _K,
+    family_weight=0.60, members_per_family=20, mutation_words=2, shift_prob=0.45,
+    pattern_weights={"text": 0.30, "pointer": 0.25, "struct": 0.20, "zero": 0.15, "random": 0.10},
+    write_fraction=0.20, locality=0.55, reuse_skew=1.3, llc_apki=11.0,
+))
+_register(_profile(
+    name="h264ref", suite="int", working_set_lines=32 * _K,
+    family_weight=0.55, members_per_family=18, mutation_words=2, shift_prob=0.45,
+    pattern_weights={"small_int": 0.40, "struct": 0.20, "random": 0.20, "text": 0.10, "zero": 0.10},
+    write_fraction=0.30, locality=0.75, reuse_skew=1.2, llc_apki=2.0,
+))
+
+# ----------------------------------------------------------------------
+# Remaining integer benchmarks.
+# ----------------------------------------------------------------------
+
+_register(_profile(
+    name="bzip2", suite="int", working_set_lines=96 * _K,
+    family_weight=0.50, members_per_family=20, mutation_words=3, shift_prob=0.15,
+    pattern_weights={"random": 0.30, "small_int": 0.25, "text": 0.20, "struct": 0.15, "zero": 0.10},
+    write_fraction=0.30, locality=0.70, reuse_skew=1.2, llc_apki=4.5,
+))
+_register(_profile(
+    name="gcc", suite="int", working_set_lines=64 * _K,
+    family_weight=0.72, members_per_family=24, mutation_words=1, shift_prob=0.08,
+    pattern_weights={"struct": 0.30, "pointer": 0.25, "small_int": 0.20, "zero": 0.20, "random": 0.05},
+    write_fraction=0.25, locality=0.50, reuse_skew=1.3, llc_apki=6.5,
+))
+_register(_profile(
+    name="omnetpp", suite="int", working_set_lines=160 * _K,
+    family_weight=0.70, members_per_family=30, mutation_words=1, shift_prob=0.04,
+    pattern_weights={"pointer": 0.35, "struct": 0.25, "small_int": 0.15, "zero": 0.20, "random": 0.05},
+    write_fraction=0.30, locality=0.30, reuse_skew=1.4, llc_apki=20.0,
+))
+_register(_profile(
+    name="astar", suite="int", working_set_lines=128 * _K,
+    family_weight=0.62, members_per_family=28, mutation_words=1, shift_prob=0.04,
+    pattern_weights={"pointer": 0.30, "small_int": 0.25, "struct": 0.20, "zero": 0.20, "random": 0.05},
+    write_fraction=0.25, locality=0.40, reuse_skew=1.4, llc_apki=10.0,
+))
+_register(_profile(
+    name="hmmer", suite="int", working_set_lines=24 * _K,
+    family_weight=0.55, members_per_family=20, mutation_words=2, shift_prob=0.04,
+    pattern_weights={"small_int": 0.45, "struct": 0.20, "zero": 0.15, "random": 0.20},
+    write_fraction=0.35, locality=0.80, reuse_skew=1.1, llc_apki=1.4,
+))
+_register(_profile(
+    name="sjeng", suite="int", working_set_lines=48 * _K,
+    family_weight=0.55, members_per_family=20, mutation_words=2, shift_prob=0.04,
+    pattern_weights={"small_int": 0.35, "struct": 0.25, "random": 0.20, "pointer": 0.10, "zero": 0.10},
+    write_fraction=0.25, locality=0.45, reuse_skew=1.3, llc_apki=1.0,
+))
+
+# ----------------------------------------------------------------------
+# Remaining floating-point benchmarks.
+# ----------------------------------------------------------------------
+
+_register(_profile(
+    name="gamess", suite="fp", working_set_lines=16 * _K,
+    family_weight=0.65, members_per_family=20, mutation_words=1, shift_prob=0.02,
+    pattern_weights={"float": 0.45, "small_int": 0.25, "struct": 0.15, "zero": 0.10, "random": 0.05},
+    write_fraction=0.25, locality=0.60, reuse_skew=1.2, llc_apki=0.6,
+))
+_register(_profile(
+    name="gromacs", suite="fp", working_set_lines=32 * _K,
+    family_weight=0.60, members_per_family=20, mutation_words=2, shift_prob=0.04,
+    pattern_weights={"float": 0.50, "small_int": 0.20, "struct": 0.10, "zero": 0.10, "random": 0.10},
+    write_fraction=0.30, locality=0.65, reuse_skew=1.2, llc_apki=1.8,
+))
+_register(_profile(
+    name="cactusADM", suite="fp", working_set_lines=160 * _K,
+    family_weight=0.72, members_per_family=30, mutation_words=1, shift_prob=0.02,
+    pattern_weights={"float": 0.45, "zero": 0.30, "small_int": 0.15, "random": 0.10},
+    write_fraction=0.35, locality=0.70, reuse_skew=1.1, llc_apki=8.5,
+))
+_register(_profile(
+    name="leslie3d", suite="fp", working_set_lines=192 * _K,
+    family_weight=0.65, members_per_family=34, mutation_words=1, shift_prob=0.02,
+    pattern_weights={"float": 0.50, "zero": 0.25, "small_int": 0.15, "random": 0.10},
+    write_fraction=0.30, locality=0.75, reuse_skew=1.1, llc_apki=14.0,
+))
+_register(_profile(
+    name="namd", suite="fp", working_set_lines=32 * _K,
+    family_weight=0.35, members_per_family=12, mutation_words=4, shift_prob=0.10,
+    pattern_weights={"float": 0.65, "small_int": 0.10, "zero": 0.05, "random": 0.20},
+    write_fraction=0.25, locality=0.70, reuse_skew=1.2, llc_apki=1.1,
+))
+_register(_profile(
+    name="soplex", suite="fp", working_set_lines=192 * _K,
+    family_weight=0.65, members_per_family=30, mutation_words=1, shift_prob=0.04,
+    pattern_weights={"float": 0.35, "pointer": 0.15, "small_int": 0.20, "zero": 0.20, "random": 0.10},
+    write_fraction=0.20, locality=0.45, reuse_skew=1.3, llc_apki=24.0,
+))
+_register(_profile(
+    name="povray", suite="fp", working_set_lines=12 * _K,
+    family_weight=0.62, members_per_family=20, mutation_words=1, shift_prob=0.04,
+    pattern_weights={"float": 0.40, "struct": 0.25, "small_int": 0.20, "zero": 0.10, "random": 0.05},
+    write_fraction=0.25, locality=0.70, reuse_skew=1.3, llc_apki=0.35,
+))
+_register(_profile(
+    name="calculix", suite="fp", working_set_lines=48 * _K,
+    family_weight=0.62, members_per_family=24, mutation_words=1, shift_prob=0.03,
+    pattern_weights={"float": 0.50, "small_int": 0.20, "struct": 0.10, "zero": 0.10, "random": 0.10},
+    write_fraction=0.25, locality=0.70, reuse_skew=1.2, llc_apki=1.9,
+))
+_register(_profile(
+    name="wrf", suite="fp", working_set_lines=128 * _K,
+    family_weight=0.68, members_per_family=28, mutation_words=1, shift_prob=0.02,
+    pattern_weights={"float": 0.45, "zero": 0.25, "small_int": 0.20, "random": 0.10},
+    write_fraction=0.30, locality=0.70, reuse_skew=1.1, llc_apki=7.5,
+))
+_register(_profile(
+    name="sphinx3", suite="fp", working_set_lines=96 * _K,
+    family_weight=0.65, members_per_family=28, mutation_words=1, shift_prob=0.05,
+    pattern_weights={"float": 0.40, "small_int": 0.30, "struct": 0.10, "zero": 0.10, "random": 0.10},
+    write_fraction=0.15, locality=0.60, reuse_skew=1.2, llc_apki=12.0,
+))
+
+
+#: Names of the paper's non-trivial (not zero-dominant) set, used by
+#: the multiprogram and sensitivity studies.
+NON_TRIVIAL: Tuple[str, ...] = tuple(
+    sorted(name for name, p in SPEC2006.items() if not p.zero_dominant)
+)
+
+ZERO_DOMINANT: Tuple[str, ...] = tuple(
+    sorted(name for name, p in SPEC2006.items() if p.zero_dominant)
+)
+
+ALL_BENCHMARKS: Tuple[str, ...] = tuple(sorted(SPEC2006))
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    try:
+        return SPEC2006[name]
+    except KeyError:
+        known = ", ".join(ALL_BENCHMARKS)
+        raise ValueError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -1,0 +1,26 @@
+"""Low-level helpers shared across the package."""
+
+from repro.util.words import (
+    WORD_BYTES,
+    bytes_to_words,
+    words_to_bytes,
+    is_trivial_word,
+    word_at,
+    line_zero_fraction,
+)
+from repro.util.bits import BitWriter, BitReader, bits_for
+from repro.util.rng import make_rng, stable_hash64
+
+__all__ = [
+    "WORD_BYTES",
+    "bytes_to_words",
+    "words_to_bytes",
+    "is_trivial_word",
+    "word_at",
+    "line_zero_fraction",
+    "BitWriter",
+    "BitReader",
+    "bits_for",
+    "make_rng",
+    "stable_hash64",
+]

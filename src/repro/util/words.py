@@ -1,0 +1,62 @@
+"""32-bit word views of cache lines.
+
+CABLE operates at 32-bit word granularity throughout: signatures are
+hashes of 32-bit words, coverage bit vectors record exact 32-bit word
+matches, and the paper's trivial-word rule is defined on 32-bit words.
+All helpers here treat cache lines as little-endian sequences of
+unsigned 32-bit words.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+#: Size in bytes of the 32-bit words CABLE samples and compares.
+WORD_BYTES = 4
+
+_U32_MASK = 0xFFFFFFFF
+
+
+def bytes_to_words(line: bytes) -> List[int]:
+    """Split *line* into little-endian unsigned 32-bit words.
+
+    Raises :class:`ValueError` if the line length is not a multiple of
+    four bytes, since CABLE's structures assume word alignment.
+    """
+    if len(line) % WORD_BYTES:
+        raise ValueError(f"line length {len(line)} is not a multiple of {WORD_BYTES}")
+    count = len(line) // WORD_BYTES
+    return list(struct.unpack(f"<{count}I", line))
+
+
+def words_to_bytes(words: Sequence[int]) -> bytes:
+    """Inverse of :func:`bytes_to_words`."""
+    return struct.pack(f"<{len(words)}I", *(w & _U32_MASK for w in words))
+
+
+def word_at(line: bytes, offset: int) -> int:
+    """Return the little-endian 32-bit word at byte *offset* of *line*."""
+    return struct.unpack_from("<I", line, offset)[0]
+
+
+def is_trivial_word(word: int, threshold_bits: int = 24) -> bool:
+    """Apply the paper's trivial-word rule (§III-A).
+
+    A word is *trivial* when it has ``threshold_bits`` or more leading
+    zeroes or leading ones — small positive or small negative values,
+    which are too common to act as discriminating signatures.
+    """
+    word &= _U32_MASK
+    keep = 32 - threshold_bits
+    top = word >> keep
+    all_ones_top = (1 << threshold_bits) - 1
+    return top == 0 or top == all_ones_top
+
+
+def line_zero_fraction(line: bytes) -> float:
+    """Fraction of 32-bit words in *line* that are exactly zero."""
+    words = bytes_to_words(line)
+    if not words:
+        return 0.0
+    return sum(1 for w in words if w == 0) / len(words)

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.cache.hierarchy import InclusivePair
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair
+
+LINE = 64
+
+
+def make_line(*words, fill=0):
+    """A 64-byte line from leading words, padded with ``fill``."""
+    values = list(words) + [fill] * (16 - len(words))
+    return struct.pack("<16I", *(w & 0xFFFFFFFF for w in values[:16]))
+
+
+def random_line(rng: random.Random) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(LINE))
+
+
+def sparse_line(rng: random.Random, zero_prob: float = 0.6) -> bytes:
+    words = [
+        0 if rng.random() < zero_prob else rng.getrandbits(32) for _ in range(16)
+    ]
+    return struct.pack("<16I", *words)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_geometry():
+    return CacheGeometry(size_bytes=8 * 1024, ways=4)
+
+
+@pytest.fixture
+def tiny_link_pair():
+    """A small home/remote CABLE pair over a dict-backed store."""
+    store = {}
+    rng = random.Random(7)
+
+    def backing_read(addr):
+        if addr not in store:
+            base = bytearray(64)
+            struct.pack_into("<I", base, 0, addr * 2654435761 & 0xFFFFFFFF)
+            struct.pack_into("<I", base, 32, addr & 0xFFFF)
+            store[addr] = bytes(base)
+        return store[addr]
+
+    def backing_write(addr, data):
+        store[addr] = data
+
+    home = SetAssociativeCache(CacheGeometry(16 * 1024, 8), name="home")
+    remote = SetAssociativeCache(CacheGeometry(4 * 1024, 4), name="remote")
+    pair = InclusivePair(home, remote, backing_read, backing_write)
+    link = CableLinkPair(CableConfig(), pair)
+    link.backing_store = store
+    return link

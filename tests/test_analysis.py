@@ -1,0 +1,63 @@
+"""Metrics and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    normalize_to,
+    percent_better,
+    speedup_percent,
+)
+from repro.analysis.report import format_series, format_table
+
+
+class TestMetrics:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_normalize_to(self):
+        values = {"cpack": 2.0, "cable": 5.0}
+        norm = normalize_to(values, "cpack")
+        assert norm == {"cpack": 1.0, "cable": 2.5}
+
+    def test_percent_better(self):
+        assert percent_better(8.2, 4.5) == pytest.approx(82.2, abs=0.1)
+
+    def test_speedup_percent(self):
+        assert speedup_percent(4.78) == pytest.approx(378.0)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in text and "2.25" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_format_series(self):
+        text = format_series("cable", {256: 1.1, 2048: 4.78})
+        assert text == "cable: 256=1.10, 2048=4.78"

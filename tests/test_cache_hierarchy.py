@@ -1,0 +1,197 @@
+"""Inclusive home/remote pair: invariants, events, coherence flows."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.line import CoherenceState
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+
+
+def make_pair(home_kb=16, remote_kb=4, ways=4):
+    store = {}
+
+    def backing_read(addr):
+        if addr not in store:
+            store[addr] = struct.pack("<16I", *([addr & 0xFFFFFFFF] * 16))
+        return store[addr]
+
+    def backing_write(addr, data):
+        store[addr] = data
+
+    home = SetAssociativeCache(CacheGeometry(home_kb * 1024, ways), name="home")
+    remote = SetAssociativeCache(CacheGeometry(remote_kb * 1024, ways), name="remote")
+    pair = InclusivePair(home, remote, backing_read, backing_write)
+    pair.backing_store = store
+    return pair
+
+
+class TestBasicFlows:
+    def test_miss_fills_both_caches(self):
+        pair = make_pair()
+        outcome = pair.access(10)
+        assert not outcome.remote_hit
+        assert pair.remote.contains(10)
+        assert pair.home.contains(10)
+        assert outcome.fill is not None
+        assert outcome.fill.state is CoherenceState.SHARED
+
+    def test_second_access_hits(self):
+        pair = make_pair()
+        pair.access(10)
+        outcome = pair.access(10)
+        assert outcome.remote_hit
+        assert not outcome.events
+
+    def test_write_miss_fills_modified(self):
+        pair = make_pair()
+        outcome = pair.access(10, is_write=True)
+        assert outcome.fill.state is CoherenceState.MODIFIED
+        way, line = pair.remote.lookup(10, touch=False)
+        assert line.state is CoherenceState.MODIFIED
+        assert line.dirty
+        # The home copy is marked stale (remote owns it).
+        __, home_line = pair.home.lookup(10, touch=False)
+        assert home_line.state is CoherenceState.MODIFIED
+
+    def test_write_data_applied_after_events(self):
+        pair = make_pair()
+        seen = []
+        pair.add_observer(lambda e: seen.append(bytes(e.data) if e.data else None))
+        new_data = b"\xAA" * 64
+        pair.access(10, is_write=True, write_data=new_data)
+        __, line = pair.remote.lookup(10, touch=False)
+        assert line.data == new_data
+        # Observers saw the pre-write (fill) data, not the new data.
+        assert new_data not in seen
+
+    def test_upgrade_event_on_shared_write(self):
+        pair = make_pair()
+        pair.access(10)  # shared fill
+        events = []
+        pair.add_observer(lambda e: events.append(e.kind))
+        pair.access(10, is_write=True, write_data=b"\x55" * 64)
+        assert events == ["upgrade"]
+        __, home_line = pair.home.lookup(10, touch=False)
+        assert home_line.state is CoherenceState.MODIFIED
+
+    def test_no_upgrade_on_second_write(self):
+        pair = make_pair()
+        pair.access(10, is_write=True)
+        events = []
+        pair.add_observer(lambda e: events.append(e.kind))
+        pair.access(10, is_write=True)
+        assert events == []
+
+
+class TestWritebacks:
+    def fill_remote_set(self, pair, base_addr):
+        """Fill every way of the remote set containing base_addr."""
+        sets = pair.remote.geometry.sets
+        ways = pair.remote.geometry.ways
+        addrs = [base_addr + i * sets for i in range(ways)]
+        for addr in addrs:
+            pair.access(addr)
+        return addrs, base_addr + ways * sets
+
+    def test_clean_eviction_no_writeback(self):
+        pair = make_pair()
+        addrs, extra = self.fill_remote_set(pair, 0)
+        outcome = pair.access(extra)
+        assert outcome.writeback is None
+        evictions = [e for e in outcome.events if e.kind == "remote_evict"]
+        assert len(evictions) == 1
+
+    def test_dirty_eviction_writes_back(self):
+        pair = make_pair()
+        addrs, extra = self.fill_remote_set(pair, 0)
+        dirty_data = b"\x77" * 64
+        pair.access(addrs[0], is_write=True, write_data=dirty_data)
+        # Evict everything by filling the set with new lines.
+        sets = pair.remote.geometry.sets
+        ways = pair.remote.geometry.ways
+        writebacks = []
+        pair.add_observer(
+            lambda e: writebacks.append(e) if e.kind == "writeback" else None
+        )
+        for i in range(ways, 2 * ways):
+            pair.access(i * sets)
+        assert any(w.line_addr == addrs[0] for w in writebacks)
+        wb = next(w for w in writebacks if w.line_addr == addrs[0])
+        assert wb.data == dirty_data
+        # Home copy now holds the written-back data.
+        __, home_line = pair.home.lookup(addrs[0], touch=False)
+        assert home_line.data == dirty_data
+        assert home_line.state is CoherenceState.EXCLUSIVE
+
+    def test_writeback_emitted_after_fill(self):
+        pair = make_pair()
+        addrs, extra = self.fill_remote_set(pair, 0)
+        pair.access(addrs[0], is_write=True, write_data=b"\x11" * 64)
+        order = []
+        pair.add_observer(lambda e: order.append(e.kind))
+        # Touch others so addrs[0] is LRU, then displace it.
+        for a in addrs[1:]:
+            pair.access(a)
+        pair.access(extra)
+        assert "writeback" in order and "fill" in order
+        assert order.index("fill") < order.index("writeback")
+
+
+class TestInclusivity:
+    def test_back_invalidation(self):
+        # Home barely larger than remote forces home evictions.
+        pair = make_pair(home_kb=4, remote_kb=4)
+        rng = random.Random(1)
+        for _ in range(500):
+            pair.access(rng.randrange(300))
+            assert pair.check_inclusive()
+        assert pair.stats["back_invalidations"] >= 0
+
+    def test_dirty_back_invalidation_reaches_backing(self):
+        pair = make_pair(home_kb=4, remote_kb=4)
+        target = 0
+        pair.access(target, is_write=True, write_data=b"\x99" * 64)
+        sets = pair.home.geometry.sets
+        # Force home-set pressure on target's set.
+        for i in range(1, 40):
+            pair.access(target + i * sets)
+        if not pair.home.contains(target):
+            assert pair.backing_store[target] == b"\x99" * 64
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 400), st.booleans()),
+            min_size=10,
+            max_size=300,
+        )
+    )
+    def test_inclusivity_invariant_property(self, accesses):
+        pair = make_pair(home_kb=8, remote_kb=2)
+        for addr, is_write in accesses:
+            pair.access(addr, is_write=is_write)
+        assert pair.check_inclusive()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 400), st.booleans()),
+            min_size=10,
+            max_size=300,
+        )
+    )
+    def test_data_coherence_property(self, accesses):
+        """Shared remote lines always match the home copy."""
+        pair = make_pair(home_kb=8, remote_kb=2)
+        for addr, is_write in accesses:
+            data = struct.pack("<16I", *([addr + 1] * 16)) if is_write else None
+            pair.access(addr, is_write=is_write, write_data=data)
+        for __, line in pair.remote:
+            if line.state is CoherenceState.SHARED:
+                home_hit = pair.home.lookup(line.tag, touch=False)
+                assert home_hit is not None
+                assert home_hit[1].data == line.data

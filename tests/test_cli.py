@@ -1,0 +1,36 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "tables" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "1.76" in out
+
+    def test_experiment_with_benchmarks(self, capsys):
+        code = main(
+            ["fig17", "--scale", "smoke", "--benchmarks", "gcc", "povray"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 17" in out and "gcc" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_registry_covers_modules(self):
+        import importlib
+
+        for name, (module_name, __) in EXPERIMENTS.items():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run"), name

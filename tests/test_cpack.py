@@ -1,0 +1,131 @@
+"""CPACK: pattern codes, dictionary behaviour, parametric sizing."""
+
+import pytest
+
+from repro.compression.cpack import CpackCompressor, _match_bytes
+from repro.util.words import words_to_bytes
+
+
+def compress_words(engine, words):
+    return engine.compress(words_to_bytes(words))
+
+
+class TestMatchBytes:
+    def test_full_match(self):
+        assert _match_bytes(0xAABBCCDD, 0xAABBCCDD) == 4
+
+    def test_prefix_matches(self):
+        assert _match_bytes(0xAABBCCDD, 0xAABBCC00) == 3
+        assert _match_bytes(0xAABBCCDD, 0xAABB0000) == 2
+        assert _match_bytes(0xAABBCCDD, 0xAA000000) == 1
+        assert _match_bytes(0xAABBCCDD, 0x00000000) == 0
+
+
+class TestPatternCosts:
+    """Wire widths per token for the standard 16-entry dictionary."""
+
+    def test_zero_words_cost_two_bits(self):
+        engine = CpackCompressor()
+        block = compress_words(engine, [0] * 16)
+        assert block.size_bits == 16 * 2
+
+    def test_uncompressed_word_costs_34(self):
+        engine = CpackCompressor()
+        block = compress_words(engine, [0xDEADBEEF] + [0] * 15)
+        assert block.size_bits == 34 + 15 * 2
+
+    def test_full_match_costs_six(self):
+        engine = CpackCompressor()
+        # First word misses (34), second is a full dictionary hit (2+4).
+        block = compress_words(engine, [0xDEADBEEF, 0xDEADBEEF] + [0] * 14)
+        assert block.size_bits == 34 + 6 + 14 * 2
+
+    def test_zzzx_costs_twelve(self):
+        engine = CpackCompressor()
+        block = compress_words(engine, [0x000000AB] + [0] * 15)
+        assert block.size_bits == 12 + 15 * 2
+
+    def test_mmmx_costs_sixteen(self):
+        engine = CpackCompressor()
+        block = compress_words(
+            engine, [0xDEADBE00, 0xDEADBEEF] + [0] * 14
+        )
+        # miss (34) + 3-byte match (4+4+8=16)
+        assert block.size_bits == 34 + 16 + 14 * 2
+
+    def test_mmxx_costs_twentyfour(self):
+        engine = CpackCompressor()
+        block = compress_words(
+            engine, [0xDEAD0000, 0xDEADBEEF] + [0] * 14
+        )
+        # miss (34) + 2-byte match (4+4+16=24)
+        assert block.size_bits == 34 + 24 + 14 * 2
+
+
+class TestDictionarySizing:
+    def test_cpack128_has_five_bit_indices(self):
+        engine = CpackCompressor(dictionary_bytes=128)
+        assert engine.entries == 32
+        assert engine.index_bits == 5
+        assert engine.name == "cpack128"
+
+    def test_standard_name(self):
+        assert CpackCompressor().name == "cpack"
+
+    def test_misaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            CpackCompressor(dictionary_bytes=66)
+
+    def test_bigger_dictionary_finds_older_words(self):
+        """A word pushed 20 lines ago is only matchable with >64B dict."""
+        marker = 0x12345678
+        filler_lines = [
+            [0x40000000 + i * 16 + j for j in range(16)] for i in range(2)
+        ]
+        small = CpackCompressor(dictionary_bytes=64)
+        big = CpackCompressor(dictionary_bytes=128 * 1024)
+        for engine in (small, big):
+            compress_words(engine, [marker] * 16)
+            for line in filler_lines:
+                compress_words(engine, line)
+        small_block = compress_words(small, [marker] + [0] * 15)
+        big_block = compress_words(big, [marker] + [0] * 15)
+        assert big_block.size_bits < small_block.size_bits
+
+    def test_pointer_free_mode(self):
+        engine = CpackCompressor(count_index_bits=False)
+        block = compress_words(engine, [0xDEADBEEF, 0xDEADBEEF] + [0] * 14)
+        # Full match costs only the 2-bit code in Fig 3's Ideal mode.
+        assert block.size_bits == 34 + 2 + 14 * 2
+
+
+class TestStreamState:
+    def test_persistent_dictionary_across_lines(self):
+        engine = CpackCompressor()
+        first = compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        second = compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        assert second.size_bits < first.size_bits
+
+    def test_reset_clears_dictionary(self):
+        engine = CpackCompressor()
+        compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        engine.reset()
+        block = compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        assert block.size_bits == 34 + 15 * 2
+
+    def test_per_line_mode_isolated(self):
+        engine = CpackCompressor(persistent=False)
+        first = compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        second = compress_words(engine, [0xAABBCCDD] + [0] * 15)
+        assert first.size_bits == second.size_bits
+
+
+class TestSeededReferences:
+    def test_reference_words_match_fully(self):
+        engine = CpackCompressor()
+        ref = words_to_bytes([0x11111101 + i for i in range(16)])
+        block = engine.compress_with_references(ref, [ref])
+        # Every word is a full match: 2 + idx bits each, idx covers 48
+        # reference words (6 bits with the minimum 16-entry floor).
+        assert block.size_bits <= 16 * (2 + 6)
+        assert engine.decompress_with_references(block, [ref]) == ref

@@ -1,0 +1,69 @@
+"""Eviction buffer & EvictSeq protocol (§IV-A)."""
+
+import pytest
+
+from repro.cache.setassoc import LineId
+from repro.core.evictbuf import EvictionBuffer
+
+
+class TestSequenceProtocol:
+    def test_monotonic_sequences(self):
+        buf = EvictionBuffer()
+        seqs = [buf.record(LineId(i), i, b"\x00" * 64) for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert buf.last_seq == 5
+
+    def test_acknowledge_drops_prefix(self):
+        buf = EvictionBuffer()
+        for i in range(5):
+            buf.record(LineId(i), i, bytes([i]) * 64)
+        buf.acknowledge(3)
+        assert len(buf) == 2
+        assert buf.rescue(LineId(1), 1) is None
+        assert buf.rescue(LineId(4), 4) is not None
+
+    def test_acknowledge_idempotent(self):
+        buf = EvictionBuffer()
+        buf.record(LineId(1), 1, b"\x01" * 64)
+        buf.acknowledge(1)
+        buf.acknowledge(1)
+        buf.acknowledge(0)
+        assert len(buf) == 0
+
+
+class TestRescue:
+    def test_rescue_by_slot_and_addr(self):
+        buf = EvictionBuffer()
+        buf.record(LineId(3), 100, b"\xAA" * 64)
+        assert buf.rescue(LineId(3), 100) == b"\xAA" * 64
+        assert buf.stats["rescues"] == 1
+
+    def test_wrong_addr_misses(self):
+        buf = EvictionBuffer()
+        buf.record(LineId(3), 100, b"\xAA" * 64)
+        assert buf.rescue(LineId(3), 101) is None
+
+    def test_newest_entry_wins(self):
+        """The same slot may be evicted twice before acks arrive; the
+        rescue must match on (slot, address) so each generation is
+        recoverable."""
+        buf = EvictionBuffer()
+        buf.record(LineId(3), 100, b"\xAA" * 64)
+        buf.record(LineId(3), 200, b"\xBB" * 64)
+        assert buf.rescue(LineId(3), 100) == b"\xAA" * 64
+        assert buf.rescue(LineId(3), 200) == b"\xBB" * 64
+
+
+class TestCapacity:
+    def test_overflow_drops_oldest(self):
+        buf = EvictionBuffer(capacity=2)
+        for i in range(4):
+            buf.record(LineId(i), i, bytes([i]) * 64)
+        assert len(buf) == 2
+        assert buf.stats["overflows"] == 2
+        assert buf.rescue(LineId(0), 0) is None
+        assert buf.rescue(LineId(3), 3) is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EvictionBuffer(capacity=0)

@@ -1,0 +1,175 @@
+"""Integration: every experiment regenerates its figure/table at smoke
+scale and shows the paper's qualitative shape.
+
+These tests ARE the reproduction claims, demoted to a fast scale:
+who wins, roughly by how much, and where the crossovers sit.
+"""
+
+import pytest
+
+from repro.experiments import clear_cache
+from repro.experiments import (
+    control as exp_control,
+)
+from repro.experiments import fig03, fig11, fig12, fig13, fig14, fig15
+from repro.experiments import fig16, fig17, fig18, fig19, fig20, fig21
+from repro.experiments import fig22, fig23, tables, toggles
+
+SMOKE = "smoke"
+FEW = ("gcc", "dealII", "perlbench", "mcf")
+NONTRIV = ("gcc", "dealII", "perlbench")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def shared_cache():
+    """Experiments share the memoized simulation grid within this
+    module; clear once at the end to free memory."""
+    yield
+    clear_cache()
+
+
+class TestFig3:
+    def test_pointer_overhead_flattens_curve(self):
+        result = fig03.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["ideal_growth"] > 1.3
+        assert result.summary["pointer_growth"] < result.summary["ideal_growth"]
+
+    def test_rows_cover_sweep(self):
+        result = fig03.run(scale=SMOKE, benchmarks=("gcc",))
+        assert len(result.rows) == len(fig03.DICTIONARY_SIZES)
+
+
+class TestFig11And12:
+    def test_cable_beats_cpack(self):
+        result = fig11.run(scale=SMOKE, benchmarks=FEW)
+        assert result.summary["cable_vs_cpack_mean"] > 1.2
+
+    def test_fig12_shape(self):
+        result = fig12.run(scale=SMOKE, benchmarks=FEW)
+        assert result.summary["cable_mean"] > result.summary["cpack_mean"]
+        assert result.summary["easy_group_cable_mean"] > 10
+        # Per-benchmark claims.
+        ratios = fig12.scheme_ratios(scale=SMOKE, benchmarks=FEW)
+        assert ratios["dealII"]["cable"] > ratios["dealII"]["gzip"]
+        assert ratios["perlbench"]["gzip"] > ratios["perlbench"]["cpack"]
+
+    def test_zero_dominant_marked(self):
+        result = fig12.run(scale=SMOKE, benchmarks=FEW)
+        names = [row[0] for row in result.rows]
+        assert "mcf*" in names
+        assert names[-1] == "mcf*"  # easy group grouped last
+
+
+class TestFig13:
+    def test_coherence_link(self):
+        result = fig13.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["cable_pct_better"] > 0
+
+
+class TestFig14:
+    def test_throughput_shape(self):
+        result = fig14.run(scale=SMOKE, benchmarks=("gcc", "mcf", "povray"))
+        assert result.summary["cable_mean_speedup_2048"] > 2
+        assert result.summary["cable_max_speedup_2048"] > 8
+        # Gains grow with thread count.
+        means = {
+            row[0]: row[-1] for row in result.rows if str(row[0]).startswith("mean@")
+        }
+        assert means["mean@2048"] > means["mean@256"]
+
+
+class TestFig15:
+    def test_cooperative_gain(self):
+        result = fig15.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["cable_mean_gain"] > result.summary["gzip_mean_gain"] * 0.9
+
+
+class TestFig16:
+    def test_pollution(self):
+        result = fig16.run(scale=SMOKE, mixes=("MIX0", "MIX5"))
+        assert result.summary["cable_mean_norm"] > result.summary["gzip_mean_norm"]
+
+
+class TestFig17:
+    def test_degradation_shape(self):
+        result = fig17.run(scale=SMOKE, benchmarks=NONTRIV)
+        assert (
+            result.summary["cpack_mean_pct"]
+            < result.summary["cable_mean_pct"]
+            < result.summary["gzip_mean_pct"]
+        )
+        assert result.summary["cable_mean_pct"] < 12
+
+
+class TestFig18:
+    def test_energy_savings(self):
+        result = fig18.run(scale=SMOKE, benchmarks=FEW)
+        assert result.summary["mean_saving_pct"] > 3
+
+
+class TestFig19:
+    def test_cache_sweeps_stable(self):
+        result = fig19.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert 0.7 < result.summary["a_cable_span"] < 2.0
+        assert result.summary["b_cable_span"] < 1.35
+
+
+class TestFig20:
+    def test_engine_ordering(self):
+        result = fig20.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["oracle_geomean"] >= result.summary["lbe_geomean"]
+        assert result.summary["lbe_geomean"] > result.summary["cpack128_geomean"]
+
+
+class TestFig21:
+    def test_graceful_degradation(self):
+        result = fig21.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        summary = result.summary
+        assert summary["1x"] > 0.9
+        assert summary["1/8x"] > 0.8
+        assert summary["1/2048x"] > 0.3
+        # Monotone-ish: smaller tables never help.
+        assert summary["2x"] >= summary["1/2048x"]
+
+
+class TestFig22:
+    def test_low_access_counts_resilient(self):
+        result = fig22.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["1"] > 0.7
+        assert result.summary["6"] > 0.9
+
+
+class TestFig23:
+    def test_width_degradation_and_packing(self):
+        result = fig23.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["ratio_16b"] > result.summary["ratio_64b"]
+        assert result.summary["ratio_64b_packed"] > result.summary["ratio_64b"]
+
+
+class TestToggles:
+    def test_reduction_positive(self):
+        result = toggles.run(scale=SMOKE, benchmarks=("gcc", "dealII"))
+        assert result.summary["cable_mean_pct"] > 0
+
+
+class TestControl:
+    def test_control_outcomes(self):
+        result = exp_control.run(scale=SMOKE, benchmarks=NONTRIV)
+        assert result.summary["mean_controlled_degr_pct"] < 0.5
+        assert result.summary["mean_throughput_cost_pct"] < 10
+
+
+class TestTables:
+    def test_all_tables_render(self):
+        for factory in (
+            tables.table_ii,
+            tables.table_iii_result,
+            tables.table_iv,
+            tables.table_v,
+            tables.table_vi,
+        ):
+            text = factory().render()
+            assert text and "paper:" in text
+
+    def test_table_vi_lists_eight_mixes(self):
+        assert len(tables.table_vi().rows) == 8

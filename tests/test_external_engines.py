@@ -1,0 +1,107 @@
+"""Real-codec engines: LZSS model validation and the LZMA dismissal."""
+
+import random
+
+import pytest
+
+from repro.compression.external import DeflateCompressor, LzmaCompressor
+from repro.compression.lzss import LzssCompressor
+from repro.trace.stream import WorkloadModel
+from repro.sim.memlink import scale_profile
+from repro.trace.profiles import get_profile
+
+
+def miss_like_stream(benchmark: str, count: int):
+    """Line contents as a link would see them (deterministic)."""
+    profile = scale_profile(get_profile(benchmark), 1 / 16)
+    model = WorkloadModel(profile, seed=0)
+    lines = []
+    for access in model.accesses(count):
+        lines.append(model.current_content(access.line_addr))
+    return lines
+
+
+class TestDeflateRoundTrip:
+    def test_stream_roundtrip(self):
+        rng = random.Random(1)
+        enc, dec = DeflateCompressor(), DeflateCompressor()
+        for _ in range(100):
+            line = bytes(rng.randrange(256) for _ in range(64))
+            block = enc.compress(line)
+            assert dec.decompress(block) == line
+
+    def test_window_carries_across_lines(self):
+        enc = DeflateCompressor()
+        line = bytes(range(64))
+        first = enc.compress(line)
+        second = enc.compress(line)
+        assert second.size_bits < first.size_bits
+
+
+class TestLzmaRoundTrip:
+    def test_roundtrip(self):
+        rng = random.Random(2)
+        engine = LzmaCompressor()
+        for _ in range(30):
+            line = bytes(rng.randrange(256) for _ in range(64))
+            block = engine.compress(line)
+            assert engine.decompress(block) == line
+
+
+class TestModelValidation:
+    """The LZSS model must track real DEFLATE on real workload streams
+    — otherwise every CABLE-vs-gzip figure would be meaningless."""
+
+    @staticmethod
+    def _ratios(bench_name, count=600):
+        lines = miss_like_stream(bench_name, count)
+        model_enc = LzssCompressor(window_bytes=2048)
+        real_enc = DeflateCompressor()
+        model_bits = sum(
+            min(model_enc.compress(l).size_bits, 512) for l in lines
+        )
+        real_bits = sum(min(real_enc.compress(l).size_bits, 512) for l in lines)
+        total = len(lines) * 512
+        return total / model_bits, total / real_bits
+
+    @pytest.mark.parametrize("bench_name", ["gcc", "dealII"])
+    def test_lzss_model_tracks_real_deflate(self, bench_name):
+        model_ratio, real_ratio = self._ratios(bench_name)
+        # Same workload, same window regime: within 2x either way
+        # (deflate pays sync-flush framing; the model pays no Huffman
+        # adaptivity — they bracket each other).
+        assert 0.5 < model_ratio / real_ratio < 2.0
+
+    def test_flush_framing_caps_real_deflate_on_trivial_lines(self):
+        """On zero-dominant traffic the sync-flush framing (~5 bytes
+        per line) dominates real deflate, capping it far below the
+        idealized model — the overhead that makes stock software
+        codecs poor link compressors and motivates custom hardware."""
+        model_ratio, real_ratio = self._ratios("mcf")
+        assert model_ratio > real_ratio
+        assert real_ratio < 12  # framing floor: 512 / ~40 bits
+
+
+class TestLzmaDismissal:
+    """§VII: LZMA 'subpar due to inefficient output flushing'."""
+
+    def test_lzma_loses_to_flushed_deflate(self):
+        lines = miss_like_stream("gcc", 400)
+        lzma_engine = LzmaCompressor()
+        deflate = DeflateCompressor()
+        lzma_bits = sum(min(lzma_engine.compress(l).size_bits, 512) for l in lines)
+        deflate_bits = sum(min(deflate.compress(l).size_bits, 512) for l in lines)
+        assert lzma_bits > deflate_bits
+
+    def test_lzma_loses_to_cable(self):
+        from repro.sim.memlink import MemLinkConfig, run_memlink
+
+        config = MemLinkConfig(
+            accesses=1500, llc_bytes=32 * 1024, l4_bytes=128 * 1024, ws_scale=1 / 32
+        )
+        cable = run_memlink("gcc", config.scaled(scheme="cable"))
+        lines = miss_like_stream("gcc", 400)
+        lzma_engine = LzmaCompressor()
+        lzma_bits = sum(min(lzma_engine.compress(l).size_bits, 512) for l in lines)
+        lzma_ratio = len(lines) * 512 / lzma_bits
+        assert cable.effective_ratio > lzma_ratio

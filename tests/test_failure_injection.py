@@ -1,0 +1,151 @@
+"""Failure injection: CABLE's accuracy-vs-correctness separation.
+
+The design claim under test (§III-B, Fig 7): the hash table and
+pre-ranking are *heuristics* — arbitrarily wrong contents may cost
+compression but can never corrupt data, because referencability is
+gated by the WMT and line state, and the decoder verifies reference
+identity. These tests actively sabotage the heuristics and assert the
+system stays correct.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.setassoc import CacheGeometry, LineId, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair
+
+
+def build_link(seed=0):
+    rng = random.Random(seed)
+    archetypes = [
+        struct.pack("<16I", *(rng.getrandbits(32) | 0x01000000 for _ in range(16)))
+        for _ in range(5)
+    ]
+    store = {}
+
+    def read(addr):
+        if addr not in store:
+            line = bytearray(archetypes[addr % 5])
+            struct.pack_into("<I", line, 60, addr)
+            store[addr] = bytes(line)
+        return store[addr]
+
+    home = SetAssociativeCache(CacheGeometry(16 * 1024, 8))
+    remote = SetAssociativeCache(CacheGeometry(4 * 1024, 4))
+    pair = InclusivePair(home, remote, read, lambda a, d: store.__setitem__(a, d))
+    link = CableLinkPair(CableConfig(), pair)
+    link.backing_read = read
+    return link
+
+
+def drive(link, n=1500, seed=1, rng=None):
+    rng = rng or random.Random(seed)
+    for i in range(n):
+        addr = rng.randrange(400)
+        if rng.random() < 0.25:
+            data = bytearray(link.backing_read(addr))
+            struct.pack_into("<I", data, 0, i)
+            link.access(addr, is_write=True, write_data=bytes(data))
+        else:
+            link.access(addr)
+
+
+class TestHashTableSabotage:
+    def test_random_garbage_entries_harmless(self):
+        """Poison the hash table with random LineIDs mid-run: wrong
+        candidates are filtered by state/WMT/CBV checks; every
+        transfer still verifies."""
+        link = build_link()
+        rng = random.Random(2)
+        drive(link, 500, rng=rng)
+        table = link.home_encoder.hash_table
+        for _ in range(500):
+            table.insert(rng.getrandbits(32), LineId(rng.getrandbits(11)))
+        drive(link, 1500, rng=rng)  # raises on any corruption
+
+    def test_cleared_table_costs_ratio_not_correctness(self):
+        sabotaged = build_link()
+        control = build_link()
+        drive(sabotaged, 800)
+        drive(control, 800)
+        sabotaged.home_encoder.hash_table.clear()
+        # Both keep running correctly; the sabotaged one re-learns.
+        drive(sabotaged, 800, seed=3)
+        drive(control, 800, seed=3)
+        assert sabotaged.compression_ratio > 1.0
+
+    def test_cross_wired_signatures(self):
+        """Insert every line's signatures pointing at a *different*
+        line: pure false positives, zero correctness impact."""
+        link = build_link()
+        drive(link, 500)
+        table = link.home_encoder.hash_table
+        lids = [lid for lid, __ in link.pair.home]
+        rng = random.Random(4)
+        for sig in range(0, 4000, 7):
+            table.insert(sig, rng.choice(lids))
+        drive(link, 1200, seed=5)
+
+
+class TestRemoteHashSabotage:
+    def test_writeback_search_survives_garbage(self):
+        link = build_link()
+        rng = random.Random(6)
+        drive(link, 500, rng=rng)
+        table = link.remote_decoder.hash_table
+        for _ in range(300):
+            table.insert(rng.getrandbits(32), LineId(rng.getrandbits(9)))
+        drive(link, 1500, rng=rng)
+
+
+class TestEvictionBufferSabotage:
+    def test_spurious_buffer_entries_ignored(self):
+        """Stale/garbage rescue entries can only be selected by exact
+        (slot, address) match, so junk is never consulted wrongly."""
+        link = build_link()
+        buf = link.remote_decoder.evict_buffer
+        rng = random.Random(7)
+        for i in range(10):
+            buf.record(LineId(rng.getrandbits(9)), 10_000 + i, bytes(64))
+        drive(link, 1500, seed=8)
+
+
+class TestConfigExtremes:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"max_references": 0},
+            {"max_references": 1},
+            {"data_access_count": 1},
+            {"hash_table_scale": 1 / 2048},
+            {"hash_bucket_entries": 1},
+            {"signatures_per_line": 1, "signature_offsets": (0,)},
+            {"no_reference_threshold": 1.0},
+            {"no_reference_threshold": 1e9},
+        ],
+    )
+    def test_degenerate_configs_stay_correct(self, overrides):
+        rng = random.Random(9)
+        archetype = struct.pack(
+            "<16I", *(rng.getrandbits(32) | 0x01000000 for _ in range(16))
+        )
+        store = {}
+
+        def read(addr):
+            if addr not in store:
+                line = bytearray(archetype)
+                struct.pack_into("<I", line, 56, addr)
+                store[addr] = bytes(line)
+            return store[addr]
+
+        home = SetAssociativeCache(CacheGeometry(8 * 1024, 8))
+        remote = SetAssociativeCache(CacheGeometry(2 * 1024, 4))
+        pair = InclusivePair(home, remote, read, lambda a, d: None)
+        link = CableLinkPair(CableConfig(**overrides), pair)
+        for i in range(800):
+            link.access(rng.randrange(200))
+        assert link.compression_ratio >= 1.0

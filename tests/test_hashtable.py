@@ -1,0 +1,120 @@
+"""The signature hash table (§III-B)."""
+
+import pytest
+
+from repro.cache.setassoc import LineId
+from repro.core.hashtable import SignatureHashTable, _round_up_pow2
+
+
+def lid(n: int) -> LineId:
+    return LineId(n)
+
+
+class TestSizing:
+    def test_rounds_to_power_of_two(self):
+        assert SignatureHashTable(entries=1000).entries == 1024
+        assert SignatureHashTable(entries=1024).entries == 1024
+
+    def test_pow2_helper(self):
+        assert _round_up_pow2(1) == 1
+        assert _round_up_pow2(5) == 8
+
+    def test_sized_for_scales(self):
+        full = SignatureHashTable.sized_for(4096, scale=1.0)
+        eighth = SignatureHashTable.sized_for(4096, scale=1 / 8)
+        assert full.entries == 4096
+        assert eighth.entries == 512
+
+    def test_extreme_downscale_still_works(self):
+        tiny = SignatureHashTable.sized_for(4096, scale=1 / 2048)
+        assert tiny.entries >= 1
+        tiny.insert(123, lid(1))
+        assert lid(1) in tiny.lookup(123)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SignatureHashTable(entries=0)
+        with pytest.raises(ValueError):
+            SignatureHashTable(entries=4, bucket_entries=0)
+
+
+class TestInsertLookup:
+    def test_basic(self):
+        table = SignatureHashTable(entries=64)
+        table.insert(0xABCD, lid(7))
+        assert lid(7) in table.lookup(0xABCD)
+
+    def test_missing_lookup_empty(self):
+        table = SignatureHashTable(entries=64)
+        assert table.lookup(0x1234) == ()
+
+    def test_bucket_fifo_eviction(self):
+        table = SignatureHashTable(entries=64, bucket_entries=2)
+        sig = 0x5555
+        table.insert(sig, lid(1))
+        table.insert(sig, lid(2))
+        table.insert(sig, lid(3))
+        bucket = table.lookup(sig)
+        assert lid(1) not in bucket
+        assert lid(2) in bucket and lid(3) in bucket
+        assert table.stats["bucket_evictions"] == 1
+
+    def test_reinsert_refreshes(self):
+        table = SignatureHashTable(entries=64, bucket_entries=2)
+        sig = 0x5555
+        table.insert(sig, lid(1))
+        table.insert(sig, lid(2))
+        table.insert(sig, lid(1))  # refresh 1 — now 2 is oldest
+        table.insert(sig, lid(3))
+        bucket = table.lookup(sig)
+        assert lid(2) not in bucket
+        assert lid(1) in bucket and lid(3) in bucket
+
+    def test_deeper_buckets(self):
+        table = SignatureHashTable(entries=64, bucket_entries=4)
+        sig = 0x9999
+        for i in range(4):
+            table.insert(sig, lid(i))
+        assert len(table.lookup(sig)) == 4
+
+
+class TestRemoval:
+    def test_remove_present(self):
+        table = SignatureHashTable(entries=64)
+        table.insert(0xAAAA, lid(5))
+        assert table.remove(0xAAAA, lid(5)) is True
+        assert table.lookup(0xAAAA) == ()
+
+    def test_remove_absent_counts_stale(self):
+        table = SignatureHashTable(entries=64)
+        assert table.remove(0xAAAA, lid(5)) is False
+        assert table.stats["stale_removals"] == 1
+
+    def test_remove_lineid_everywhere(self):
+        table = SignatureHashTable(entries=64)
+        for sig in (1, 2, 3):
+            table.insert(sig * 7919, lid(9))
+        removed = table.remove_lineid_everywhere(lid(9))
+        assert removed >= 1
+        assert table.occupancy() == 3 - removed
+
+    def test_clear(self):
+        table = SignatureHashTable(entries=64)
+        table.insert(1, lid(1))
+        table.clear()
+        assert table.occupancy() == 0
+
+
+class TestCollisions:
+    def test_different_signatures_can_share_bucket(self):
+        """Fig 7: collisions are possible and tolerated."""
+        table = SignatureHashTable(entries=2, bucket_entries=2)
+        table.insert(0x0001, lid(1))
+        table.insert(0x10001, lid(2))  # may collide in a 2-entry table
+        total = len(table.lookup(0x0001)) + len(table.lookup(0x10001))
+        assert total >= 2  # both present somewhere (possibly same bucket)
+
+    def test_contains(self):
+        table = SignatureHashTable(entries=64)
+        table.insert(42, lid(1))
+        assert 42 in table

@@ -1,0 +1,118 @@
+"""LBE: op costs, aligned block copies, self-reference, byte runs."""
+
+import pytest
+
+from repro.compression.lbe import LbeCompressor
+from repro.util.words import words_to_bytes
+
+
+class TestOpCosts:
+    def test_zero_line_is_one_op(self):
+        engine = LbeCompressor(persistent=False)
+        block = engine.compress(b"\x00" * 64)
+        assert block.tokens == (("zero", 16),)
+        assert block.size_bits == 2 + 4
+
+    def test_byte_run(self):
+        engine = LbeCompressor(persistent=False)
+        line = words_to_bytes([5] * 16)
+        block = engine.compress(line)
+        # lit word then a self-referential copy beats byte-coding all 16.
+        assert block.size_bits < 16 * (2 + 4 + 8)
+        assert engine.decompress(block) == line
+
+    def test_small_values_use_byte_op(self):
+        engine = LbeCompressor(persistent=False)
+        line = words_to_bytes([3, 7, 250, 9] + [0] * 12)
+        block = engine.compress(line)
+        kinds = [t[0] for t in block.tokens]
+        assert "byte" in kinds
+        assert "lit" not in kinds
+
+    def test_word_literals_for_large_values(self):
+        engine = LbeCompressor(persistent=False)
+        line = words_to_bytes([0xDEADBEEF, 0xCAFEBABE] + [0] * 14)
+        block = engine.compress(line)
+        kinds = [t[0] for t in block.tokens]
+        assert "lit" in kinds
+
+
+class TestBlockCopies:
+    def test_single_copy_covers_whole_line(self):
+        """The amortization CABLE leans on: one reference copy op."""
+        engine = LbeCompressor()
+        ref = words_to_bytes([0x10101010 + i for i in range(16)])
+        block = engine.compress_with_references(ref, [ref])
+        copy_ops = [t for t in block.tokens if t[0] == "copy"]
+        assert len(copy_ops) == 1
+        assert copy_ops[0][2] == 16
+        # op + offset + len — tens of bits, not hundreds.
+        assert block.size_bits <= 2 + 7 + 4
+
+    def test_diff_of_one_word(self):
+        engine = LbeCompressor()
+        ref_words = [0x20202020 + i for i in range(16)]
+        line_words = list(ref_words)
+        line_words[7] = 0xDEADBEEF
+        ref = words_to_bytes(ref_words)
+        line = words_to_bytes(line_words)
+        block = engine.compress_with_references(line, [ref])
+        assert engine.decompress_with_references(block, [ref]) == line
+        # copy(7) + lit(1) + copy(8): far below the bare encoding.
+        bare = engine.compress_with_references(line, ())
+        assert block.size_bits < bare.size_bits / 2
+
+    def test_copy_across_reference_boundary_not_required(self):
+        engine = LbeCompressor()
+        refs = [
+            words_to_bytes([0x30303030 + i for i in range(16)]),
+            words_to_bytes([0x40404040 + i for i in range(16)]),
+        ]
+        line = refs[0][:32] + refs[1][32:]
+        block = engine.compress_with_references(line, refs)
+        assert engine.decompress_with_references(block, refs) == line
+
+
+class TestSelfReference:
+    def test_repeated_word_collapses(self):
+        engine = LbeCompressor(persistent=False)
+        line = words_to_bytes([0xABCD1234] * 16)
+        block = engine.compress(line)
+        # One literal + one overlapping copy.
+        assert block.size_bits <= (2 + 4 + 32) + (2 + 7 + 4)
+        assert engine.decompress(block) == line
+
+    def test_period_two_pattern(self):
+        engine = LbeCompressor(persistent=False)
+        line = words_to_bytes([0xAAAA0001, 0xBBBB0002] * 8)
+        block = engine.compress(line)
+        assert engine.decompress(block) == line
+        copy_ops = [t for t in block.tokens if t[0] == "copy"]
+        assert copy_ops, "periodic content should use an overlap copy"
+
+
+class TestStreamWindow:
+    def test_window_carries_across_lines(self):
+        engine = LbeCompressor(window_bytes=256)
+        line = words_to_bytes([0x51515151 + i for i in range(16)])
+        first = engine.compress(line)
+        second = engine.compress(line)
+        assert second.size_bits < first.size_bits
+
+    def test_window_evicts_fifo(self):
+        engine = LbeCompressor(window_bytes=128)  # two lines
+        target = words_to_bytes([0x61616161 + i for i in range(16)])
+        engine.compress(target)
+        for i in range(3):
+            engine.compress(words_to_bytes([0x70000000 + 16 * i + j for j in range(16)]))
+        block = engine.compress(target)
+        copy_ops = [t for t in block.tokens if t[0] == "copy" and t[2] >= 8]
+        assert not copy_ops, "target must have aged out of a 128B window"
+
+    def test_misaligned_window_rejected(self):
+        with pytest.raises(ValueError):
+            LbeCompressor(window_bytes=130)
+
+    def test_name_variants(self):
+        assert LbeCompressor(window_bytes=256).name == "lbe"
+        assert LbeCompressor(window_bytes=512).name == "lbe512"

@@ -1,0 +1,66 @@
+"""Link model: flit packing, effective ratios, packed transport."""
+
+import pytest
+
+from repro.link.channel import LinkModel, LinkStats, PackedTransport
+
+
+class TestLinkModel:
+    def test_flits_for(self):
+        link = LinkModel(width_bits=16)
+        assert link.flits_for(0) == 0
+        assert link.flits_for(1) == 1
+        assert link.flits_for(16) == 1
+        assert link.flits_for(17) == 2
+        assert link.flits_for(512) == 32
+
+    def test_bandwidth(self):
+        link = LinkModel(width_bits=16, frequency_hz=9.6e9)
+        assert link.bandwidth_bytes_per_s == pytest.approx(19.2e9)
+
+    def test_effective_ratio_cap_is_32x(self):
+        """A 64B line on a 16-bit link cannot beat 32x (§III-E)."""
+        link = LinkModel(width_bits=16)
+        assert link.effective_ratio(512, 1) == 32.0
+        assert link.effective_ratio(512, 9) == 32.0
+        assert link.effective_ratio(512, 17) == 16.0
+
+    def test_wider_link_lower_cap(self):
+        link = LinkModel(width_bits=64)
+        assert link.effective_ratio(512, 1) == 8.0
+
+    def test_transfer_cycles(self):
+        link = LinkModel(width_bits=16)
+        assert link.transfer_cycles(512) == 32
+
+
+class TestLinkStats:
+    def test_accumulation(self):
+        stats = LinkStats()
+        stats.record(512, 100)  # 7 flits
+        stats.record(512, 512)  # 32 flits
+        assert stats.transfers == 2
+        assert stats.flits == 39
+        assert stats.effective_ratio == pytest.approx(64 / 39)
+
+    def test_empty_ratio(self):
+        assert LinkStats().effective_ratio == 1.0
+
+
+class TestPackedTransport:
+    def test_packing_beats_per_transfer_quantization(self):
+        wide = LinkModel(width_bits=64)
+        naive_flits = 0
+        packed = PackedTransport(wide)
+        for __ in range(100):
+            naive_flits += wide.flits_for(70)  # 2 flits each, 58 wasted
+            packed.record(70)
+        assert packed.flits < naive_flits
+
+    def test_length_prefix_counted(self):
+        link = LinkModel(width_bits=64)
+        packed = PackedTransport(link)
+        packed.record(58)  # 58 + 6 = 64 → exactly one flit
+        assert packed.flits == 1
+        packed.record(59)  # 65 more bits → cursor 129 → three flits
+        assert packed.flits == 3

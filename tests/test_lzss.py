@@ -1,0 +1,97 @@
+"""LZSS (the gzip stand-in): window behaviour, costs, reference mode."""
+
+import pytest
+
+from repro.compression.lzss import (
+    LzssCompressor,
+    _literal_cost_bits,
+    _match_cost_bits,
+)
+
+
+class TestCostModel:
+    def test_zero_literal_cheapest(self):
+        assert _literal_cost_bits(0) < _literal_cost_bits(ord("a"))
+        assert _literal_cost_bits(ord("a")) < _literal_cost_bits(0xF3)
+
+    def test_match_cost_grows_with_distance(self):
+        near = _match_cost_bits(8, 10)
+        far = _match_cost_bits(30_000, 10)
+        assert far > near
+
+
+class TestWindow:
+    def test_window_bounds(self):
+        with pytest.raises(ValueError):
+            LzssCompressor(window_bytes=2)
+        with pytest.raises(ValueError):
+            LzssCompressor(window_bytes=1 << 16)
+
+    def test_recent_line_matches(self):
+        encoder = LzssCompressor()
+        line = bytes(range(64))
+        first = encoder.compress(line)
+        second = encoder.compress(line)
+        assert second.size_bits < first.size_bits
+        # The whole repeat should be one or two matches.
+        match_ops = [t for t in second.tokens if t[0] == "match"]
+        assert match_ops
+
+    def test_window_slides(self):
+        encoder = LzssCompressor(window_bytes=1024)
+        target = bytes((i * 37) % 256 for i in range(64))
+        encoder.compress(target)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(32):  # push 2KB through a 1KB window
+            encoder.compress(bytes(rng.randrange(256) for _ in range(64)))
+        block = encoder.compress(target)
+        long_matches = [t for t in block.tokens if t[0] == "match" and t[2] > 8]
+        assert not long_matches
+
+    def test_reset(self):
+        encoder = LzssCompressor()
+        line = bytes(range(64))
+        encoder.compress(line)
+        encoder.reset()
+        block = encoder.compress(line)
+        decoder = LzssCompressor()
+        assert decoder.decompress(block) == line
+
+
+class TestByteGranularity:
+    """What distinguishes gzip from CABLE's word-aligned matching."""
+
+    def test_byte_shifted_copy_matches(self):
+        encoder = LzssCompressor()
+        base = bytes((i * 73 + 11) % 256 for i in range(64))
+        encoder.compress(base)
+        shifted = base[3:] + base[:3]  # a 3-byte rotation
+        block = encoder.compress(shifted)
+        match_bytes = sum(t[2] for t in block.tokens if t[0] == "match")
+        assert match_bytes >= 48  # most of the line found despite shift
+
+    def test_overlapping_match(self):
+        encoder = LzssCompressor()
+        line = b"ab" * 32
+        block = encoder.compress(line)
+        decoder = LzssCompressor()
+        assert decoder.decompress(block) == line
+
+
+class TestReferenceMode:
+    def test_temporary_window_only(self):
+        engine = LzssCompressor()
+        ref = bytes((7 * i + 3) % 256 for i in range(64))
+        line = ref[:32] + bytes(64 - 32)
+        block = engine.compress_with_references(line, [ref])
+        assert engine.decompress_with_references(block, [ref]) == line
+        # Stream window must not have picked up the reference.
+        probe = engine.compress(ref)
+        full_matches = [t for t in probe.tokens if t[0] == "match" and t[2] >= 32]
+        assert not full_matches
+
+    def test_custom_window_name(self):
+        assert LzssCompressor().name == "gzip"
+        assert LzssCompressor(window_bytes=8 * 1024).name == "gzip8k"

@@ -1,0 +1,137 @@
+"""Wire format and payload selection (§III-E)."""
+
+import pytest
+
+from repro.cache.setassoc import LineId
+from repro.compression.base import CompressedBlock
+from repro.core.payload import (
+    FLAG_BITS,
+    Payload,
+    PayloadKind,
+    REFCOUNT_BITS,
+    choose_payload,
+)
+
+
+def block(bits: int) -> CompressedBlock:
+    return CompressedBlock(algorithm="lbe", size_bits=bits, original_size=64)
+
+
+class TestSizeAccounting:
+    def test_uncompressed(self):
+        p = Payload(
+            kind=PayloadKind.UNCOMPRESSED, line_addr=0, line_bytes=64, raw=b"\0" * 64
+        )
+        assert p.size_bits == FLAG_BITS + 512
+
+    def test_no_reference(self):
+        p = Payload(
+            kind=PayloadKind.NO_REFERENCE, line_addr=0, line_bytes=64, block=block(100)
+        )
+        assert p.size_bits == FLAG_BITS + REFCOUNT_BITS + 100
+
+    def test_with_references(self):
+        p = Payload(
+            kind=PayloadKind.WITH_REFERENCES,
+            line_addr=0,
+            line_bytes=64,
+            block=block(50),
+            remote_lids=(LineId(1), LineId(2), LineId(3)),
+            remotelid_bits=17,
+        )
+        assert p.size_bits == 1 + 2 + 3 * 17 + 50
+
+    def test_remotelid_width_configurable(self):
+        p = Payload(
+            kind=PayloadKind.WITH_REFERENCES,
+            line_addr=0,
+            line_bytes=64,
+            block=block(50),
+            remote_lids=(LineId(1),),
+            remotelid_bits=18,
+        )
+        assert p.size_bits == 1 + 2 + 18 + 50
+
+
+class TestValidation:
+    def test_uncompressed_needs_raw(self):
+        with pytest.raises(ValueError):
+            Payload(kind=PayloadKind.UNCOMPRESSED, line_addr=0, line_bytes=64)
+
+    def test_compressed_needs_block(self):
+        with pytest.raises(ValueError):
+            Payload(kind=PayloadKind.NO_REFERENCE, line_addr=0, line_bytes=64)
+
+    def test_with_references_needs_pointers(self):
+        with pytest.raises(ValueError):
+            Payload(
+                kind=PayloadKind.WITH_REFERENCES,
+                line_addr=0,
+                line_bytes=64,
+                block=block(10),
+            )
+
+    def test_no_reference_refuses_pointers(self):
+        with pytest.raises(ValueError):
+            Payload(
+                kind=PayloadKind.NO_REFERENCE,
+                line_addr=0,
+                line_bytes=64,
+                block=block(10),
+                remote_lids=(LineId(1),),
+            )
+
+    def test_max_three_references(self):
+        with pytest.raises(ValueError):
+            Payload(
+                kind=PayloadKind.WITH_REFERENCES,
+                line_addr=0,
+                line_bytes=64,
+                block=block(10),
+                remote_lids=tuple(LineId(i) for i in range(4)),
+            )
+
+
+class TestSelectionRule:
+    LINE = bytes(64)
+
+    def _choose(self, with_bits, no_ref_bits, threshold=16.0):
+        with_refs = None
+        if with_bits is not None:
+            with_refs = (block(with_bits), (LineId(1),), (123,))
+        return choose_payload(
+            0, self.LINE, with_refs, block(no_ref_bits), threshold, 17
+        )
+
+    def test_threshold_shortcut(self):
+        """≥16x without references ⇒ skip pointers entirely."""
+        p = self._choose(with_bits=5, no_ref_bits=20)
+        assert p.kind is PayloadKind.NO_REFERENCE
+
+    def test_smaller_wins_below_threshold(self):
+        p = self._choose(with_bits=60, no_ref_bits=200)
+        assert p.kind is PayloadKind.WITH_REFERENCES
+        p = self._choose(with_bits=300, no_ref_bits=200)
+        assert p.kind is PayloadKind.NO_REFERENCE
+
+    def test_pointer_overhead_counted_in_comparison(self):
+        # DIFF of 190 bits + 20 pointer/header bits loses to 200-bit no-ref?
+        # 190+1+2+17=210 > 200+3=203 ⇒ no-ref wins.
+        p = self._choose(with_bits=190, no_ref_bits=200)
+        assert p.kind is PayloadKind.NO_REFERENCE
+
+    def test_incompressible_sent_raw(self):
+        p = self._choose(with_bits=600, no_ref_bits=700)
+        assert p.kind is PayloadKind.UNCOMPRESSED
+
+    def test_no_search_result(self):
+        p = self._choose(with_bits=None, no_ref_bits=100)
+        assert p.kind is PayloadKind.NO_REFERENCE
+
+    def test_ref_addrs_carried(self):
+        p = self._choose(with_bits=60, no_ref_bits=400)
+        assert p.ref_addrs == (123,)
+
+    def test_compression_ratio_property(self):
+        p = self._choose(with_bits=60, no_ref_bits=400)
+        assert p.compression_ratio == 512 / p.size_bits

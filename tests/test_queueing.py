@@ -1,0 +1,91 @@
+"""Event-driven group-bandwidth simulator vs the analytical model."""
+
+import pytest
+
+from repro.sim.memlink import MemLinkConfig, run_memlink
+from repro.sim.queueing import (
+    GroupOutcome,
+    ThreadSpec,
+    grouped_throughput,
+    queueing_speedup,
+    simulate_group,
+)
+from repro.sim.throughput import ThroughputModel
+
+SMALL = MemLinkConfig(
+    accesses=1200, llc_bytes=32 * 1024, l4_bytes=128 * 1024, ws_scale=1 / 32
+)
+
+
+@pytest.fixture(scope="module")
+def gcc():
+    return {
+        "cable": run_memlink("gcc", SMALL.scaled(scheme="cable")),
+        "raw": run_memlink("gcc", SMALL.scaled(scheme="raw")),
+    }
+
+
+def make_thread(compute_s, bits, jobs):
+    return ThreadSpec(
+        name="t",
+        compute_per_request_s=compute_s,
+        request_bits=[bits],
+        requests_per_job=jobs,
+    )
+
+
+class TestSimulateGroup:
+    def test_single_compute_bound_thread(self):
+        thread = make_thread(compute_s=1e-3, bits=16, jobs=10)
+        outcome = simulate_group([thread], group_bandwidth_bps=1e12)
+        # Ten compute periods dominate; transfer time negligible.
+        assert outcome.makespan_s == pytest.approx(10e-3, rel=0.01)
+
+    def test_single_bandwidth_bound_thread(self):
+        thread = make_thread(compute_s=1e-9, bits=1_000_000, jobs=10)
+        outcome = simulate_group([thread], group_bandwidth_bps=1e9)
+        assert outcome.makespan_s == pytest.approx(10e-3, rel=0.01)
+
+    def test_fcfs_serializes_link(self):
+        thread = make_thread(compute_s=0.0, bits=1000, jobs=5)
+        outcome = simulate_group([thread] * 4, group_bandwidth_bps=1e6)
+        # 4 threads x 5 requests x 1ms each, fully serialized.
+        assert outcome.makespan_s == pytest.approx(20e-3, rel=0.01)
+
+    def test_statistical_multiplexing(self):
+        """A memory hog next to compute-bound threads finishes faster
+        than its static 1/N share predicts — the reason the paper uses
+        competitive groups."""
+        hog = make_thread(compute_s=1e-9, bits=100_000, jobs=20)
+        quiet = make_thread(compute_s=1e-3, bits=100, jobs=2)
+        bw = 1e9
+        shared = simulate_group([hog] + [quiet] * 7, group_bandwidth_bps=bw)
+        hog_finish = shared.finish_times_s[0]
+        static_share_finish = 20 * 100_000 / (bw / 8)
+        assert hog_finish < static_share_finish
+
+    def test_empty_group(self):
+        assert simulate_group([], 1e9).makespan_s == 0.0
+
+
+class TestAgainstAnalyticalModel:
+    def test_bandwidth_bound_agreement(self, gcc):
+        """At extreme thread counts both models converge on the
+        traffic-reduction asymptote."""
+        analytical = ThroughputModel().speedup(gcc["cable"], gcc["raw"], 8192)
+        event_driven = queueing_speedup(gcc["cable"], gcc["raw"], 8192)
+        assert event_driven == pytest.approx(analytical, rel=0.2)
+
+    def test_compute_bound_agreement(self):
+        povray = run_memlink("povray", SMALL.scaled(scheme="cable"))
+        raw = run_memlink("povray", SMALL.scaled(scheme="raw"))
+        event_driven = queueing_speedup(povray, raw, 256)
+        assert event_driven == pytest.approx(1.0, abs=0.15)
+
+    def test_speedup_grows_with_threads(self, gcc):
+        low = queueing_speedup(gcc["cable"], gcc["raw"], 256)
+        high = queueing_speedup(gcc["cable"], gcc["raw"], 4096)
+        assert high > low
+
+    def test_throughput_positive(self, gcc):
+        assert grouped_throughput(gcc["cable"], 1024) > 0

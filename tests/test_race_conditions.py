@@ -1,0 +1,94 @@
+"""§IV-A: in-flight responses vs concurrent remote evictions.
+
+The synchronous link pair never exposes this race, so these tests
+drive the endpoints manually: encode a payload, evict its reference
+from the remote cache (recording it in the eviction buffer as the
+hardware would), and only then decode.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair, DecompressionError
+from repro.core.payload import PayloadKind
+
+
+def build_link():
+    rng = random.Random(0)
+    archetype = struct.pack(
+        "<16I", *(rng.getrandbits(32) | 0x01000000 for _ in range(16))
+    )
+    store = {}
+
+    def read(addr):
+        if addr not in store:
+            base = bytearray(archetype)
+            struct.pack_into("<I", base, 60, addr)
+            store[addr] = bytes(base)
+        return store[addr]
+
+    home = SetAssociativeCache(CacheGeometry(16 * 1024, 8))
+    remote = SetAssociativeCache(CacheGeometry(4 * 1024, 4))
+    pair = InclusivePair(home, remote, read, lambda a, d: None)
+    return CableLinkPair(CableConfig(), pair)
+
+
+def encode_with_reference(link, target_addr):
+    """Warm two similar lines, then hand-encode a fresh request."""
+    link.access(100)  # the reference-to-be
+    data = link.pair.backing_read(target_addr)
+    outcome = link.home_encoder.encode(target_addr, data, None)
+    assert outcome.payload.kind is PayloadKind.WITH_REFERENCES
+    return outcome.payload, data
+
+
+class TestInFlightEviction:
+    def test_decode_rescued_from_eviction_buffer(self):
+        link = build_link()
+        payload, data = encode_with_reference(link, 5000)
+        # The reference is evicted while the response is in flight.
+        ref_lid = payload.remote_lids[0]
+        line = link.pair.remote.read_by_lineid(ref_lid)
+        link.remote_decoder.evict_buffer.record(ref_lid, line.tag, line.data)
+        link.pair.remote.evict_lineid(ref_lid)
+        decoded = link.remote_decoder.decode(payload)
+        assert decoded == data
+        assert link.remote_decoder.stats["rescued_references"] == 1
+
+    def test_decode_fails_without_buffer_entry(self):
+        link = build_link()
+        payload, data = encode_with_reference(link, 5000)
+        link.pair.remote.evict_lineid(payload.remote_lids[0])
+        with pytest.raises(DecompressionError):
+            link.remote_decoder.decode(payload)
+
+    def test_slot_reuse_detected_by_address(self):
+        """The victim slot now holds a *different* line: the decoder
+        must notice the address mismatch and use the buffered copy."""
+        link = build_link()
+        payload, data = encode_with_reference(link, 5000)
+        ref_lid = payload.remote_lids[0]
+        line = link.pair.remote.read_by_lineid(ref_lid)
+        link.remote_decoder.evict_buffer.record(ref_lid, line.tag, line.data)
+        # Overwrite the slot with an unrelated line.
+        index, way = ref_lid.unpack(link.pair.remote.geometry.way_bits)
+        impostor_addr = line.tag + link.pair.remote.geometry.sets
+        link.pair.remote.install(
+            impostor_addr, b"\xEE" * 64, way=way
+        )
+        decoded = link.remote_decoder.decode(payload)
+        assert decoded == data
+
+    def test_acknowledged_entries_eventually_drop(self):
+        link = build_link()
+        buf = link.remote_decoder.evict_buffer
+        seqs = [buf.record(payload_lid, addr, b"\x00" * 64)
+                for addr, payload_lid in ((1, 10), (2, 11), (3, 12))]
+        # Home echoes the highest EvictSeq it processed.
+        buf.acknowledge(seqs[-1])
+        assert len(buf) == 0

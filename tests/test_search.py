@@ -1,0 +1,190 @@
+"""The search pipeline (§III-C): CBV, greedy ranking, pre-ranking."""
+
+import pytest
+
+from repro.cache.line import CoherenceState
+from repro.cache.setassoc import CacheGeometry, LineId, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.hashtable import SignatureHashTable
+from repro.core.search import (
+    SearchPipeline,
+    coverage_bit_vector,
+    greedy_select,
+)
+from repro.core.signature import SignatureExtractor
+from repro.util.words import bytes_to_words, words_to_bytes
+
+
+class TestCoverageBitVector:
+    def test_exact_match(self):
+        words = list(range(100, 116))
+        assert coverage_bit_vector(words, words) == 0xFFFF
+
+    def test_no_match(self):
+        assert coverage_bit_vector([1] * 16, [2] * 16) == 0
+
+    def test_positional(self):
+        """CBV is positional: same words at different offsets miss."""
+        a = [1, 2, 3, 4]
+        b = [2, 3, 4, 1]
+        assert coverage_bit_vector(a, b) == 0
+
+    def test_partial(self):
+        a = [9, 9, 3, 9]
+        b = [9, 0, 3, 0]
+        assert coverage_bit_vector(a, b) == 0b0101
+
+
+class TestGreedySelect:
+    def test_paper_example(self):
+        """§III-C: CBVs 1100, 0110, 0011 → pick 1100 + 0011 (coverage 4)."""
+        cbvs = [(0, 0b1100), (1, 0b0110), (2, 0b0011)]
+        picks, combined = greedy_select(cbvs, max_references=2)
+        assert set(picks) == {0, 2}
+        assert combined == 0b1111
+
+    def test_respects_max(self):
+        cbvs = [(i, 1 << i) for i in range(8)]
+        picks, combined = greedy_select(cbvs, max_references=3)
+        assert len(picks) == 3
+
+    def test_skips_zero_gain(self):
+        cbvs = [(0, 0b1111), (1, 0b0011)]
+        picks, __ = greedy_select(cbvs, max_references=3)
+        assert picks == [0]
+
+    def test_empty(self):
+        assert greedy_select([], 3) == ([], 0)
+
+
+def build_pipeline(lines, config=None, remote_map=None):
+    """A home cache preloaded with lines; referencable = identity or map."""
+    config = config or CableConfig()
+    home = SetAssociativeCache(CacheGeometry(8 * 1024, 4))
+    extractor = SignatureExtractor(config)
+    table = SignatureHashTable.sized_for(home.geometry.lines)
+    lids = {}
+    for addr, data in lines.items():
+        way, __ = home.install(addr, data, state=CoherenceState.SHARED)
+        lid = home.lineid(home.index_of(addr), way)
+        lids[addr] = lid
+        for sig in extractor.index_signatures(data):
+            table.insert(sig, lid)
+
+    def referencable(lid):
+        if remote_map is None:
+            return lid
+        return remote_map.get(lid)
+
+    pipeline = SearchPipeline(config, extractor, table, home, referencable)
+    return pipeline, lids, home
+
+
+def make_line(seed: int, edits=()):
+    words = [(seed * 1000003 + i * 7919) | 0x01000000 for i in range(16)]
+    for pos, value in edits:
+        words[pos] = value
+    return words_to_bytes(words)
+
+
+class TestSearchPipeline:
+    def test_finds_identical_line(self):
+        data = make_line(1)
+        pipeline, lids, __ = build_pipeline({10: data})
+        result = pipeline.search(data)
+        assert len(result.references) == 1
+        assert result.references[0].home_lid == lids[10]
+        assert result.coverage == 16
+
+    def test_finds_near_duplicate(self):
+        ref = make_line(2)
+        request = make_line(2, edits=[(5, 0xDEAD0001)])
+        pipeline, lids, __ = build_pipeline({20: ref})
+        result = pipeline.search(request)
+        assert len(result.references) == 1
+        assert result.coverage == 15
+
+    def test_excludes_self(self):
+        data = make_line(3)
+        pipeline, lids, __ = build_pipeline({30: data})
+        result = pipeline.search(data, exclude=lids[30])
+        assert result.references == []
+
+    def test_zero_line_no_signatures(self):
+        pipeline, __, __ = build_pipeline({40: make_line(4)})
+        result = pipeline.search(b"\x00" * 64)
+        assert result.signatures_used == 0
+        assert result.references == []
+
+    def test_dissimilar_lines_rejected_by_cbv(self):
+        """A hash collision yields a candidate with CBV 0 — dropped."""
+        ref = make_line(5)
+        pipeline, lids, home = build_pipeline({50: ref})
+        # Force a stale/wrong candidate: request shares no words.
+        request = make_line(6)
+        # Manually plant the request's signature pointing at line 50.
+        for sig in pipeline.extractor.search_signatures(request):
+            pipeline.hash_table.insert(sig, lids[50])
+        result = pipeline.search(request)
+        assert result.references == []
+
+    def test_unreferencable_lines_skipped(self):
+        data = make_line(7)
+        pipeline, lids, __ = build_pipeline({70: data}, remote_map={})
+        result = pipeline.search(data)
+        assert result.references == []
+
+    def test_dirty_lines_not_references(self):
+        data = make_line(8)
+        pipeline, lids, home = build_pipeline({80: data})
+        __, line = home.lookup(80, touch=False)
+        line.state = CoherenceState.MODIFIED
+        result = pipeline.search(data)
+        assert result.references == []
+
+    def test_three_references_combine_coverage(self):
+        """Three partial references combine to full coverage.
+
+        Each reference pads its non-shared region with *trivial* words
+        so that its two index-time signatures slide onto the shared
+        region (a line whose indexed words never occur in the request
+        is unfindable by design — only two signatures are indexed)."""
+        base = make_line(9)
+        words = bytes_to_words(base)
+        a = words_to_bytes(words[:6] + [0] * 10)
+        b = words_to_bytes([0] * 6 + words[6:11] + [0] * 5)
+        c = words_to_bytes([0] * 11 + words[11:])
+        pipeline, lids, __ = build_pipeline({1: a, 2: b, 3: c})
+        result = pipeline.search(base)
+        assert len(result.references) == 3
+        assert result.coverage == 16
+
+    def test_max_references_respected(self):
+        config = CableConfig(max_references=1)
+        base = make_line(10)
+        words = bytes_to_words(base)
+        a = words_to_bytes(words[:8] + [0x0BAD0000 + i for i in range(8)])
+        b = words_to_bytes([0x0BAD1000 + i for i in range(8)] + words[8:])
+        pipeline, __, __ = build_pipeline({1: a, 2: b}, config=config)
+        result = pipeline.search(base)
+        assert len(result.references) == 1
+
+    def test_data_access_budget(self):
+        """Only data_access_count candidates are read from the array."""
+        config = CableConfig(data_access_count=2)
+        lines = {i: make_line(11, edits=[(0, 0x0C000000 + i)]) for i in range(8)}
+        pipeline, __, home = build_pipeline(lines, config=config)
+        before = home.stats["data_reads"]
+        pipeline.search(make_line(11))
+        assert home.stats["data_reads"] - before <= 2
+
+    def test_preranking_prefers_duplicated_lineids(self):
+        """A candidate returned by several signatures outranks one
+        returned by a single signature when the budget is one read."""
+        config = CableConfig(data_access_count=1)
+        good = make_line(12)  # shares many words with the request
+        weak = make_line(12, edits=[(i, 0x0D000000 + i) for i in range(1, 15)])
+        pipeline, lids, __ = build_pipeline({100: good, 200: weak}, config=config)
+        result = pipeline.search(make_line(12, edits=[(0, 0x0E000001)]))
+        assert len(result.references) == 1
+        assert result.references[0].home_lid == lids[100]

@@ -1,0 +1,99 @@
+"""§IV-B silent evictions: no explicit eviction notices.
+
+In 1-to-1 home/remote mappings (or power-of-two linear interleaving)
+the remote never notifies the home of fill displacements: the home
+infers them from the way-replacement info in each request. In-flight
+references to the displaced line are covered by the §IV-A eviction
+buffer — silent mode exercises that rescue path in normal operation.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair
+from repro.core.sync import audit
+
+
+def build_link(silent: bool, seed=0, evict_buffer=64):
+    rng = random.Random(seed)
+    archetypes = [
+        struct.pack("<16I", *(rng.getrandbits(32) | 0x01000000 for _ in range(16)))
+        for _ in range(6)
+    ]
+    store = {}
+
+    def read(addr):
+        if addr not in store:
+            line = bytearray(archetypes[addr % 6])
+            struct.pack_into("<I", line, 60, addr)
+            store[addr] = bytes(line)
+        return store[addr]
+
+    home = SetAssociativeCache(CacheGeometry(16 * 1024, 8))
+    remote = SetAssociativeCache(CacheGeometry(4 * 1024, 4))
+    pair = InclusivePair(home, remote, read, lambda a, d: store.__setitem__(a, d))
+    config = CableConfig(eviction_buffer_entries=evict_buffer)
+    return CableLinkPair(config, pair, silent_evictions=silent)
+
+
+def drive(link, accesses=4000, seed=1, write_fraction=0.25):
+    rng = random.Random(seed)
+    for i in range(accesses):
+        addr = rng.randrange(500)
+        if rng.random() < write_fraction:
+            data = bytearray(link.pair.backing_read(addr))
+            struct.pack_into("<I", data, 0, i)
+            link.access(addr, is_write=True, write_data=bytes(data))
+        else:
+            link.access(addr)
+
+
+class TestSilentEvictions:
+    def test_correctness_preserved(self):
+        """Every transfer still decompresses exactly (verify=True)."""
+        link = build_link(silent=True)
+        drive(link)
+        assert link.totals["fills"] > 0
+
+    def test_audit_clean_after_fill_processing(self):
+        """The WMT converges to the same precise state — displacement
+        cleanup just happens at fill time instead of notice time."""
+        link = build_link(silent=True)
+        drive(link)
+        report = audit(link)
+        assert report.ok, report.violations[:5]
+
+    def test_rescue_path_exercised(self):
+        """Silent mode routinely decodes against just-displaced
+        references, recovering them from the eviction buffer."""
+        link = build_link(silent=True)
+        drive(link)
+        assert link.remote_decoder.stats["rescued_references"] > 0
+
+    def test_explicit_mode_never_needs_rescue(self):
+        link = build_link(silent=False)
+        drive(link)
+        assert link.remote_decoder.stats["rescued_references"] == 0
+
+    def test_compression_equivalent_to_explicit(self):
+        """§IV-B's point: silent eviction is a transport optimization,
+        not a compression trade-off."""
+        silent = build_link(silent=True)
+        explicit = build_link(silent=False)
+        drive(silent)
+        drive(explicit)
+        assert silent.compression_ratio == pytest.approx(
+            explicit.compression_ratio, rel=0.05
+        )
+
+    def test_small_buffer_can_overflow(self):
+        """An undersized eviction buffer drops entries under load —
+        visible in stats, guarding the sizing assumption."""
+        link = build_link(silent=True, evict_buffer=1)
+        drive(link, accesses=2000)
+        assert link.remote_decoder.evict_buffer.stats["recorded"] > 0

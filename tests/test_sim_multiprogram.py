@@ -1,0 +1,59 @@
+"""Multiprogram link sharing (Figs 15/16 substrate)."""
+
+import pytest
+
+from repro.experiments.base import ScalePreset
+from repro.sim.multiprogram import run_multiprogram
+
+TINY = ScalePreset("tiny", accesses=900, llc_bytes=16 * 1024)
+
+
+class TestBasics:
+    def test_per_slot_accounting(self):
+        result = run_multiprogram(("gcc", "povray"), scheme="cable", preset=TINY)
+        assert len(result.slots) == 2
+        assert all(s.transfers > 0 for s in result.slots)
+        assert result.overall_ratio > 1.0
+
+    @pytest.mark.parametrize("scheme", ["raw", "gzip", "cable"])
+    def test_schemes(self, scheme):
+        result = run_multiprogram(("gcc", "gcc"), scheme=scheme, preset=TINY)
+        if scheme == "raw":
+            assert result.overall_ratio == pytest.approx(1.0)
+        else:
+            assert result.overall_ratio > 1.0
+
+    def test_deterministic(self):
+        a = run_multiprogram(("gcc", "bzip2"), scheme="cable", preset=TINY)
+        b = run_multiprogram(("gcc", "bzip2"), scheme="cable", preset=TINY)
+        assert a.per_slot_ratio == b.per_slot_ratio
+
+
+class TestDictionaryEffects:
+    def test_pollution_hits_gzip_harder_than_cable(self):
+        """The Fig 16 mechanism: interleaving unrelated programs costs
+        gzip (stream window shared) more than CABLE (cache-sized
+        dictionary that grew with the shared LLC)."""
+        from repro.sim.memlink import MemLinkConfig, run_memlink
+
+        single_cfg = MemLinkConfig(
+            accesses=TINY.accesses,
+            llc_bytes=TINY.llc_bytes,
+            l4_bytes=TINY.l4_bytes,
+            ws_scale=TINY.ws_scale,
+        )
+        names = ("gcc", "bzip2", "sjeng", "hmmer")
+        gzip_norms = []
+        cable_norms = []
+        for scheme, norms in (("gzip", gzip_norms), ("cable", cable_norms)):
+            multi = run_multiprogram(names, scheme=scheme, preset=TINY)
+            for slot, name in enumerate(names):
+                single = run_memlink(
+                    name, single_cfg.scaled(scheme=scheme)
+                ).effective_ratio
+                norms.append(multi.per_slot_ratio[slot] / single)
+        assert sum(cable_norms) / 4 > sum(gzip_norms) / 4
+
+    def test_replication_shares_archetypes(self):
+        solo = run_multiprogram(("dealII",) * 4, scheme="cable", preset=TINY, replicate=True)
+        assert solo.overall_ratio > 1.0

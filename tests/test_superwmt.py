@@ -1,0 +1,172 @@
+"""Pooled super-WMT (§IV-D)."""
+
+import pytest
+
+from repro.cache.setassoc import CacheGeometry, LineId
+from repro.core.superwmt import PooledWmtView, SuperWmt
+from repro.core.wmt import WayMapTable
+
+
+@pytest.fixture
+def geometries():
+    home = CacheGeometry(16 * 1024, 8)  # 32 sets
+    remote = CacheGeometry(4 * 1024, 4)  # 16 sets
+    return home, remote
+
+
+def hlid(home, index, way):
+    return LineId.pack(index, way, home.way_bits)
+
+
+def rlid(remote, index, way):
+    return LineId.pack(index, way, remote.way_bits)
+
+
+class TestPoolBasics:
+    def test_install_lookup_roundtrip(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=3, capacity_fraction=1.0)
+        view = PooledWmtView(pool, 0)
+        h = hlid(home, 17, 3)
+        r = rlid(remote, 1, 2)
+        view.install(h, r)
+        assert view.remote_lid_for(h) == r
+        assert view.home_lid_for(r) == h
+
+    def test_links_isolated(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=3, capacity_fraction=1.0)
+        a = PooledWmtView(pool, 0)
+        b = PooledWmtView(pool, 1)
+        h = hlid(home, 17, 3)
+        r = rlid(remote, 1, 2)
+        a.install(h, r)
+        assert a.remote_lid_for(h) == r
+        assert b.remote_lid_for(h) is None
+        assert b.home_lid_for(r) is None
+
+    def test_invalidate(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=2, capacity_fraction=1.0)
+        view = PooledWmtView(pool, 1)
+        h = hlid(home, 5, 0)
+        r = rlid(remote, 5, 1)
+        view.install(h, r)
+        assert view.invalidate_remote(r) == h
+        assert view.remote_lid_for(h) is None
+
+    def test_invalidate_home(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=2, capacity_fraction=1.0)
+        view = PooledWmtView(pool, 0)
+        h = hlid(home, 21, 6)
+        r = rlid(remote, 5, 3)
+        view.install(h, r)
+        assert view.invalidate_home(h) == r
+        assert view.home_lid_for(r) is None
+
+    def test_bad_link_id(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=2)
+        with pytest.raises(ValueError):
+            PooledWmtView(pool, 5)
+
+
+class TestEquivalenceWithDedicated:
+    def test_full_capacity_matches_waymaptable(self, geometries):
+        """At 100% capacity the pool behaves like N dedicated WMTs."""
+        import random
+
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=2, capacity_fraction=1.0, ways=64)
+        views = [PooledWmtView(pool, i) for i in range(2)]
+        dedicated = [WayMapTable(home, remote) for _ in range(2)]
+        rng = random.Random(0)
+        installed = []
+        for _ in range(300):
+            link = rng.randrange(2)
+            home_index = rng.randrange(home.sets)
+            home_way = rng.randrange(home.ways)
+            h = hlid(home, home_index, home_way)
+            remote_index = home_index & (remote.sets - 1)
+            r = rlid(remote, remote_index, rng.randrange(remote.ways))
+            views[link].install(h, r)
+            dedicated[link].install(h, r)
+            installed.append((link, h, r))
+        mismatches = sum(
+            1
+            for link, h, __ in installed
+            if views[link].remote_lid_for(h) != dedicated[link].remote_lid_for(h)
+        )
+        assert mismatches == 0
+
+
+class TestCapacitySharing:
+    def test_undersized_pool_evicts_gracefully(self, geometries):
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=3, capacity_fraction=0.25)
+        views = [PooledWmtView(pool, i) for i in range(3)]
+        import random
+
+        rng = random.Random(1)
+        survivors = 0
+        total = 0
+        for _ in range(600):
+            link = rng.randrange(3)
+            home_index = rng.randrange(home.sets)
+            h = hlid(home, home_index, rng.randrange(home.ways))
+            r = rlid(
+                remote, home_index & (remote.sets - 1), rng.randrange(remote.ways)
+            )
+            views[link].install(h, r)
+        assert pool.stats["evictions"] > 0
+        # Lookups never crash; misses just return None.
+        for link in range(3):
+            for index in range(remote.sets):
+                for way in range(remote.ways):
+                    total += 1
+                    if pool.lookup(link, index, way) is not None:
+                        survivors += 1
+        assert 0 < survivors < total
+
+    def test_storage_saving(self, geometries):
+        """The §IV-D point: a pooled table sized well below the sum of
+        dedicated WMTs saves storage even after paying cache tags —
+        the regime that matters is many links, modest capacity."""
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=7, capacity_fraction=0.25)
+        assert pool.storage_vs_dedicated() < 1.0
+        # And the paper's multichip geometry (8MB LLC pairs, 8 chips):
+        llc = CacheGeometry(8 * 1024 * 1024, 8)
+        big = SuperWmt(llc, llc, links=7, capacity_fraction=0.25)
+        assert big.storage_vs_dedicated() < 1.0
+
+    def test_lru_prefers_active_links(self, geometries):
+        """A busy link's translations survive an idle link's stale
+        entries — competitive sharing."""
+        home, remote = geometries
+        pool = SuperWmt(home, remote, links=2, capacity_fraction=0.3, ways=4)
+        busy = PooledWmtView(pool, 0)
+        idle = PooledWmtView(pool, 1)
+        h0 = hlid(home, 3, 1)
+        r0 = rlid(remote, 3, 0)
+        idle.install(h0, r0)
+        import random
+
+        rng = random.Random(2)
+        hot_pairs = []
+        for i in range(200):
+            home_index = rng.randrange(home.sets)
+            h = hlid(home, home_index, rng.randrange(home.ways))
+            r = rlid(
+                remote, home_index & (remote.sets - 1), rng.randrange(remote.ways)
+            )
+            busy.install(h, r)
+            hot_pairs.append((h, r))
+            # Keep recent entries warm.
+            for hh, __ in hot_pairs[-8:]:
+                busy.remote_lid_for(hh)
+        recent_alive = sum(
+            1 for h, r in hot_pairs[-8:] if busy.remote_lid_for(h) is not None
+        )
+        assert recent_alive >= 6

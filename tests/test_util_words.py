@@ -1,0 +1,90 @@
+"""Word-view helpers: conversions and the trivial-word rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.words import (
+    WORD_BYTES,
+    bytes_to_words,
+    is_trivial_word,
+    line_zero_fraction,
+    word_at,
+    words_to_bytes,
+)
+
+
+class TestConversions:
+    def test_roundtrip_known(self):
+        words = [0, 1, 0xDEADBEEF, 0xFFFFFFFF]
+        assert bytes_to_words(words_to_bytes(words)) == words
+
+    def test_little_endian_layout(self):
+        data = words_to_bytes([0x01020304])
+        assert data == bytes([0x04, 0x03, 0x02, 0x01])
+
+    def test_word_at_offsets(self):
+        line = words_to_bytes(list(range(16)))
+        for i in range(16):
+            assert word_at(line, i * WORD_BYTES) == i
+
+    def test_unaligned_length_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_words(b"\x00" * 63)
+
+    def test_empty_line(self):
+        assert bytes_to_words(b"") == []
+        assert words_to_bytes([]) == b""
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=64))
+    def test_roundtrip_property(self, words):
+        assert bytes_to_words(words_to_bytes(words)) == words
+
+    @given(st.binary(min_size=0, max_size=256).filter(lambda b: len(b) % 4 == 0))
+    def test_bytes_roundtrip_property(self, data):
+        assert words_to_bytes(bytes_to_words(data)) == data
+
+
+class TestTrivialWordRule:
+    """§III-A / Fig 6: ≥24 leading zeros or ones ⇒ trivial."""
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            (0x00000000, True),  # zero
+            (0x000000FF, True),  # 24 leading zeros exactly
+            (0x000001FF, False),  # 23 leading zeros
+            (0xFFFFFFFF, True),  # all ones
+            (0xFFFFFF00, True),  # 24 leading ones exactly
+            (0xFFFFFE00, False),  # 23 leading ones
+            (0xDEADBEEF, False),
+            (0x00000001, True),
+            (0x80000000, False),
+        ],
+    )
+    def test_rule(self, word, expected):
+        assert is_trivial_word(word) is expected
+
+    def test_custom_threshold(self):
+        # With a 16-bit threshold, 0x0000FFFF is trivial.
+        assert is_trivial_word(0x0000FFFF, threshold_bits=16)
+        assert not is_trivial_word(0x0001FFFF, threshold_bits=16)
+
+    @given(st.integers(0, 255))
+    def test_all_small_bytes_trivial(self, value):
+        assert is_trivial_word(value)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_negated_symmetry(self, word):
+        # A word and its bitwise complement share trivial status.
+        assert is_trivial_word(word) == is_trivial_word(word ^ 0xFFFFFFFF)
+
+
+class TestZeroFraction:
+    def test_all_zero(self):
+        assert line_zero_fraction(b"\x00" * 64) == 1.0
+
+    def test_no_zero(self):
+        assert line_zero_fraction(words_to_bytes([1] * 16)) == 0.0
+
+    def test_half(self):
+        assert line_zero_fraction(words_to_bytes([0, 1] * 8)) == 0.5

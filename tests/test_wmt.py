@@ -1,0 +1,156 @@
+"""The Way-Map Table (§III-D)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import CacheGeometry, LineId
+from repro.core.wmt import NormalizedHomeLid, WayMapTable
+
+
+@pytest.fixture
+def geometries():
+    home = CacheGeometry(16 * 1024, 8)  # 32 sets
+    remote = CacheGeometry(4 * 1024, 4)  # 16 sets
+    return home, remote
+
+
+@pytest.fixture
+def wmt(geometries):
+    return WayMapTable(*geometries)
+
+
+def home_lid(geom: CacheGeometry, index: int, way: int) -> LineId:
+    return LineId.pack(index, way, geom.way_bits)
+
+
+def remote_lid(geom: CacheGeometry, index: int, way: int) -> LineId:
+    return LineId.pack(index, way, geom.way_bits)
+
+
+class TestGeometry:
+    def test_alias_bits(self, wmt):
+        assert wmt.alias_bits == 1  # 32 home sets vs 16 remote sets
+
+    def test_entry_bits(self, wmt):
+        # alias(1) + home way(3) + valid(1)
+        assert wmt.entry_bits == 5
+
+    def test_paper_offchip_entry_size(self):
+        """16MB 8-way home, 8MB 8-way remote: 4-bit entries (§IV-D)."""
+        home = CacheGeometry(16 * 1024 * 1024, 8)
+        remote = CacheGeometry(8 * 1024 * 1024, 8)
+        wmt = WayMapTable(home, remote)
+        assert wmt.alias_bits + home.way_bits == 4
+        # Table III counts alias+way (0.4%); our storage adds a valid
+        # bit on top (0.48%).
+        payload_bits = (wmt.alias_bits + home.way_bits) * remote.sets * remote.ways
+        assert abs(payload_bits / (home.size_bytes * 8) - 0.004) < 0.0002
+        assert wmt.overhead_vs_home_data() < 0.006
+
+    def test_home_smaller_than_remote_rejected(self):
+        small = CacheGeometry(2 * 1024, 4)
+        big = CacheGeometry(8 * 1024, 4)
+        with pytest.raises(ValueError):
+            WayMapTable(small, big)
+
+
+class TestNormalization:
+    def test_normalize_strips_remote_index(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        # Home index 17 = alias 1, remote index 1.
+        lid = home_lid(home_geom, 17, 3)
+        norm = wmt.normalize(lid)
+        assert norm == NormalizedHomeLid(alias=1, home_way=3)
+        assert wmt.remote_index_of(lid) == 1
+
+    def test_denormalize_roundtrip(self, wmt, geometries):
+        home_geom, __ = geometries
+        for index in (0, 5, 31):
+            for way in (0, 7):
+                lid = home_lid(home_geom, index, way)
+                norm = wmt.normalize(lid)
+                back = wmt.denormalize(norm, wmt.remote_index_of(lid))
+                assert back == lid
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 31), st.integers(0, 7))
+    def test_roundtrip_property(self, index, way):
+        wmt = WayMapTable(CacheGeometry(16 * 1024, 8), CacheGeometry(4 * 1024, 4))
+        lid = LineId.pack(index, way, 3)
+        back = wmt.denormalize(wmt.normalize(lid), wmt.remote_index_of(lid))
+        assert back == lid
+
+
+class TestTranslation:
+    def test_install_then_translate(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        hlid = home_lid(home_geom, 17, 3)
+        rlid = remote_lid(remote_geom, 1, 2)
+        displaced = wmt.install(hlid, rlid)
+        assert displaced is None
+        assert wmt.remote_lid_for(hlid) == rlid
+        assert wmt.home_lid_for(rlid) == hlid
+
+    def test_miss_returns_none(self, wmt, geometries):
+        home_geom, __ = geometries
+        assert wmt.remote_lid_for(home_lid(home_geom, 3, 0)) is None
+
+    def test_wrong_set_mapping_rejected(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        hlid = home_lid(home_geom, 17, 3)  # remote index 1
+        rlid = remote_lid(remote_geom, 2, 0)  # wrong remote set
+        with pytest.raises(ValueError):
+            wmt.install(hlid, rlid)
+
+    def test_install_displaces_previous(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        rlid = remote_lid(remote_geom, 1, 2)
+        first = home_lid(home_geom, 17, 3)
+        second = home_lid(home_geom, 1, 5)  # same remote index 1
+        wmt.install(first, rlid)
+        displaced = wmt.install(second, rlid)
+        assert displaced == first
+        assert wmt.remote_lid_for(first) is None
+        assert wmt.remote_lid_for(second) == rlid
+
+    def test_invalidate_remote(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        hlid = home_lid(home_geom, 17, 3)
+        rlid = remote_lid(remote_geom, 1, 2)
+        wmt.install(hlid, rlid)
+        assert wmt.invalidate_remote(rlid) == hlid
+        assert wmt.remote_lid_for(hlid) is None
+        assert wmt.invalidate_remote(rlid) is None
+
+    def test_invalidate_home(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        hlid = home_lid(home_geom, 17, 3)
+        rlid = remote_lid(remote_geom, 1, 2)
+        wmt.install(hlid, rlid)
+        cleared = wmt.invalidate_home(hlid)
+        assert cleared == rlid
+        assert wmt.occupancy() == 0
+
+    def test_alias_disambiguation(self, wmt, geometries):
+        """Two home lines sharing a remote index but different aliases
+        must map to distinct remote ways and translate back exactly."""
+        home_geom, remote_geom = geometries
+        a = home_lid(home_geom, 1, 0)   # alias 0, remote index 1
+        b = home_lid(home_geom, 17, 0)  # alias 1, remote index 1
+        ra = remote_lid(remote_geom, 1, 0)
+        rb = remote_lid(remote_geom, 1, 1)
+        wmt.install(a, ra)
+        wmt.install(b, rb)
+        assert wmt.remote_lid_for(a) == ra
+        assert wmt.remote_lid_for(b) == rb
+        assert wmt.home_lid_for(ra) == a
+        assert wmt.home_lid_for(rb) == b
+
+    def test_stats(self, wmt, geometries):
+        home_geom, remote_geom = geometries
+        hlid = home_lid(home_geom, 17, 3)
+        wmt.remote_lid_for(hlid)
+        assert wmt.stats["misses"] == 1
+        wmt.install(hlid, remote_lid(remote_geom, 1, 0))
+        wmt.remote_lid_for(hlid)
+        assert wmt.stats["hits"] == 1

@@ -1,0 +1,41 @@
+"""Calibration sweep: effective ratios per benchmark x scheme.
+
+Run:  python tools/calibrate.py [accesses] [ws_scale]
+"""
+import sys
+import time
+from statistics import geometric_mean
+
+from repro.sim.memlink import run_memlink, MemLinkConfig
+from repro.trace.profiles import ALL_BENCHMARKS, ZERO_DOMINANT
+
+ACCESSES = int(sys.argv[1]) if len(sys.argv) > 1 else 8000
+SCALE = float(sys.argv[2]) if len(sys.argv) > 2 else 0.125
+SCHEMES = ["cpack", "bdi", "cpack128", "lbe256", "gzip", "cable"]
+
+cfg = MemLinkConfig(
+    accesses=ACCESSES,
+    llc_bytes=int(1024 * 1024 * SCALE),
+    l4_bytes=int(4 * 1024 * 1024 * SCALE),
+    ws_scale=SCALE,
+)
+t0 = time.time()
+table = {}
+print(f"{'bench':12s}" + "".join(f"{s:>10s}" for s in SCHEMES) + f"{'missrate':>10s}")
+for bench in ALL_BENCHMARKS:
+    row = {}
+    mr = 0.0
+    for scheme in SCHEMES:
+        r = run_memlink(bench, cfg.scaled(scheme=scheme))
+        row[scheme] = r.effective_ratio
+        mr = r.llc_miss_rate
+    table[bench] = row
+    star = "*" if bench in ZERO_DOMINANT else " "
+    print(f"{bench:11s}{star}" + "".join(f"{row[s]:10.2f}" for s in SCHEMES) + f"{mr:10.2f}", flush=True)
+
+print("-" * 84)
+for label, names in (("ALL(geo)", ALL_BENCHMARKS),
+                     ("NONTRIV", [b for b in ALL_BENCHMARKS if b not in ZERO_DOMINANT])):
+    means = {s: geometric_mean([table[b][s] for b in names]) for s in SCHEMES}
+    print(f"{label:12s}" + "".join(f"{means[s]:10.2f}" for s in SCHEMES))
+print(f"elapsed {time.time()-t0:.0f}s")

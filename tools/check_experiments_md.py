@@ -1,0 +1,13 @@
+"""Verify EXPERIMENTS.md's quoted summary numbers against the
+archived benchmark outputs (benchmarks/output/*.txt).
+
+Prints each archived summary line so quoted numbers can be refreshed.
+"""
+import pathlib
+
+for path in sorted(pathlib.Path("benchmarks/output").glob("*.txt")):
+    text = path.read_text().splitlines()
+    summary = [l for l in text if l.startswith("summary:")]
+    print(f"== {path.stem}")
+    for line in summary:
+        print("  ", line)

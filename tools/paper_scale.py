@@ -1,0 +1,25 @@
+"""Paper-scale (20k accesses, 256KB LLC) Fig 12 rows, appended to a JSON file.
+
+Run:  python tools/paper_scale.py bench1 bench2 ...
+"""
+import json
+import pathlib
+import sys
+
+from repro.experiments.base import SCALES, memlink_config
+from repro.sim.memlink import run_memlink
+
+OUT = pathlib.Path("benchmarks/output/fig12_paper_scale.json")
+SCHEMES = ["bdi", "cpack", "cpack128", "lbe256", "gzip", "cable"]
+
+data = json.loads(OUT.read_text()) if OUT.exists() else {}
+for bench in sys.argv[1:]:
+    if bench in data:
+        continue
+    row = {}
+    for scheme in SCHEMES:
+        config = memlink_config("paper", scheme=scheme)
+        row[scheme] = run_memlink(bench, config).effective_ratio
+    data[bench] = row
+    OUT.write_text(json.dumps(data, indent=1))
+    print(bench, {k: round(v, 2) for k, v in row.items()}, flush=True)
