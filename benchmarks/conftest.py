@@ -12,11 +12,51 @@ same underlying runs (11/12/14/17/18...) pay for them once.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+_STATS_FIELDS = (
+    "min",
+    "max",
+    "mean",
+    "stddev",
+    "median",
+    "iqr",
+    "ops",
+    "rounds",
+    "total",
+)
+
+
+def archive_benchmark_stats(benchmark, output_name: str) -> None:
+    """Dump the pytest-benchmark timing stats as ``{output_name}.stats.json``.
+
+    Previously only the rendered text was archived, losing the actual
+    timings. The getattr dance keeps this robust across pytest-benchmark
+    versions, which move fields between Stats and its wrapper.
+    """
+    stats = getattr(benchmark, "stats", None)
+    inner = getattr(stats, "stats", stats)
+    payload = {}
+    for field in _STATS_FIELDS:
+        value = getattr(inner, field, getattr(stats, field, None))
+        if callable(value):  # some versions expose these as methods
+            try:
+                value = value()
+            except TypeError:
+                value = None
+        if isinstance(value, (int, float)):
+            payload[field] = value
+    if not payload:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{output_name}.stats.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
@@ -25,6 +65,7 @@ def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
     text = result.render()
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{output_name}.txt").write_text(text + "\n")
+    archive_benchmark_stats(benchmark, output_name)
     print()
     print(text)
     return result

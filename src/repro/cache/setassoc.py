@@ -29,29 +29,36 @@ class CacheGeometry:
     def __post_init__(self) -> None:
         if self.size_bytes % (self.ways * self.line_bytes):
             raise ValueError("cache size must be a whole number of sets")
-        if self.sets & (self.sets - 1):
+        sets = self.size_bytes // (self.ways * self.line_bytes)
+        if sets & (sets - 1):
             raise ValueError("set count must be a power of two")
+        # The derived widths are consulted on every LineID pack/unpack
+        # in the search pipeline; compute them once (the dataclass is
+        # frozen, hence the object.__setattr__).
+        object.__setattr__(self, "_sets", sets)
+        object.__setattr__(self, "_index_bits", bits_for(sets))
+        object.__setattr__(self, "_way_bits", bits_for(self.ways))
 
     @property
     def sets(self) -> int:
-        return self.size_bytes // (self.ways * self.line_bytes)
+        return self._sets
 
     @property
     def index_bits(self) -> int:
-        return bits_for(self.sets)
+        return self._index_bits
 
     @property
     def way_bits(self) -> int:
-        return bits_for(self.ways)
+        return self._way_bits
 
     @property
     def lines(self) -> int:
-        return self.sets * self.ways
+        return self._sets * self.ways
 
     @property
     def lineid_bits(self) -> int:
         """Width of a LineID (index + way) for this geometry."""
-        return self.index_bits + self.way_bits
+        return self._index_bits + self._way_bits
 
     def index_of(self, line_addr: int) -> int:
         """Set index for a line address (``byte_addr // line_bytes``)."""
@@ -90,6 +97,7 @@ class SetAssociativeCache:
         self.geometry = geometry
         self.policy = policy or LruPolicy()
         self.name = name
+        self._way_bits = geometry.way_bits  # hot in read_by_lineid
         self._sets: List[List[Optional[CacheLine]]] = [
             [None] * geometry.ways for _ in range(geometry.sets)
         ]
@@ -104,7 +112,7 @@ class SetAssociativeCache:
         return self.geometry.index_of(line_addr)
 
     def lineid(self, index: int, way: int) -> LineId:
-        return LineId.pack(index, way, self.geometry.way_bits)
+        return LineId.pack(index, way, self._way_bits)
 
     def lineid_of_addr(self, line_addr: int) -> Optional[LineId]:
         hit = self.lookup(line_addr, touch=False)
@@ -199,7 +207,7 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
 
     def read_by_lineid(self, lid: LineId) -> Optional[CacheLine]:
-        index, way = lid.unpack(self.geometry.way_bits)
+        index, way = lid.unpack(self._way_bits)
         if not (0 <= index < self.geometry.sets and 0 <= way < self.geometry.ways):
             return None
         self.stats["data_reads"] += 1

@@ -20,8 +20,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+from repro.util.kernels import DATACLASS_SLOTS
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class CompressedBlock:
     """The result of compressing one cache line.
 

@@ -31,12 +31,14 @@ capacity swept up to megabytes, with and without pointer (index) cost.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.compression.base import CompressedBlock, ReferenceCompressor
 from repro.compression.dictionary import WordFifo
 from repro.util.bits import bits_for
-from repro.util.words import bytes_to_words, words_to_bytes
+from repro.util.kernels import line_words
+from repro.util.words import words_to_bytes
 
 # Token kinds (engine-internal).
 _ZZZZ = "zzzz"
@@ -100,6 +102,12 @@ class CpackCompressor(ReferenceCompressor):
         self.name = "cpack" if dictionary_bytes == 64 else f"cpack{dictionary_bytes}"
         self.stateful = persistent
         self._fifo = WordFifo(self.entries)
+        # Stateless by contract (the temporary dictionary is rebuilt
+        # from the references alone), so identical (line, references)
+        # pairs — the common re-encode case — are answered from cache.
+        self._compress_refs_cached = lru_cache(maxsize=16384)(
+            self._compress_with_references_uncached
+        )
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -112,7 +120,7 @@ class CpackCompressor(ReferenceCompressor):
         if not self.persistent:
             self._fifo.clear()
         tokens, size_bits = self._encode_words(
-            bytes_to_words(line), self._fifo, self.index_bits
+            line_words(line), self._fifo, self.index_bits
         )
         return CompressedBlock(self.name, size_bits, len(line), tuple(tokens))
 
@@ -129,9 +137,14 @@ class CpackCompressor(ReferenceCompressor):
     def compress_with_references(
         self, line: bytes, references: Sequence[bytes]
     ) -> CompressedBlock:
+        return self._compress_refs_cached(line, tuple(references))
+
+    def _compress_with_references_uncached(
+        self, line: bytes, references: Tuple[bytes, ...]
+    ) -> CompressedBlock:
         fifo = self._seeded_fifo(references)
         idx_bits = bits_for(fifo.capacity) if self.count_index_bits else 0
-        tokens, size_bits = self._encode_words(bytes_to_words(line), fifo, idx_bits)
+        tokens, size_bits = self._encode_words(line_words(line), fifo, idx_bits)
         return CompressedBlock(self.name, size_bits, len(line), tuple(tokens))
 
     def decompress_with_references(
@@ -143,7 +156,7 @@ class CpackCompressor(ReferenceCompressor):
     def _seeded_fifo(self, references: Sequence[bytes]) -> WordFifo:
         capacity = max(self.entries, sum(len(r) // 4 for r in references) or 1)
         fifo = WordFifo(capacity)
-        fifo.seed(bytes_to_words(r) for r in references)
+        fifo.seed(line_words(r) for r in references)
         return fifo
 
     # ------------------------------------------------------------------
@@ -151,7 +164,7 @@ class CpackCompressor(ReferenceCompressor):
     # ------------------------------------------------------------------
 
     def _encode_words(
-        self, words: List[int], fifo: WordFifo, idx_bits: int
+        self, words: Sequence[int], fifo: WordFifo, idx_bits: int
     ) -> Tuple[List[Tuple], int]:
         tokens: List[Tuple] = []
         size_bits = 0

@@ -39,11 +39,13 @@ from the reference lines.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compression.base import CompressedBlock, ReferenceCompressor
 from repro.compression.dictionary import ByteWindow
 from repro.util.bits import bits_for
+from repro.util.kernels import line_words
 from repro.util.words import WORD_BYTES, bytes_to_words, words_to_bytes
 
 _OP_BITS = 2
@@ -62,6 +64,12 @@ class LbeCompressor(ReferenceCompressor):
         self.name = "lbe" if window_bytes == 256 else f"lbe{window_bytes}"
         self.stateful = persistent
         self._window = ByteWindow(window_bytes)
+        # compress_with_references is stateless by contract, so its
+        # result for a (line, references) pair never changes — memoize
+        # it; re-encodes of resident lines are the common case.
+        self._compress_refs_cached = lru_cache(maxsize=16384)(
+            self._compress_with_references_uncached
+        )
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -89,6 +97,11 @@ class LbeCompressor(ReferenceCompressor):
     def compress_with_references(
         self, line: bytes, references: Sequence[bytes]
     ) -> CompressedBlock:
+        return self._compress_refs_cached(line, tuple(references))
+
+    def _compress_with_references_uncached(
+        self, line: bytes, references: Tuple[bytes, ...]
+    ) -> CompressedBlock:
         window = b"".join(references)
         capacity = max(len(window), WORD_BYTES)
         tokens, size_bits = self._encode(line, window, capacity)
@@ -107,7 +120,9 @@ class LbeCompressor(ReferenceCompressor):
     def _encode(
         self, line: bytes, window: bytes, window_capacity: int
     ) -> Tuple[List[Tuple], int]:
-        words = bytes_to_words(line)
+        # The line's word view is memoized (lines recur across encodes);
+        # the window churns per call, so it stays on the uncached path.
+        words = line_words(line)
         window_words = bytes_to_words(window) if window else []
         # The copy space covers the window plus the line's own emitted
         # prefix; offsets address both, so the pointer width covers
@@ -145,10 +160,24 @@ class LbeCompressor(ReferenceCompressor):
                     size_bits += _OP_BITS + _LEN_BITS + 32 * len(chunk)
 
         space = list(window_words)  # window + emitted prefix of the line
+        # Word → ascending offsets index over the copy space, so the
+        # match search only visits offsets whose first word already
+        # matches instead of scanning the whole window per position.
+        occurrences: Dict[int, List[int]] = {}
+        for off, word in enumerate(space):
+            occurrences.setdefault(word, []).append(off)
+
+        def extend_space(run: Sequence[int]) -> None:
+            off = len(space)
+            for word in run:
+                occurrences.setdefault(word, []).append(off)
+                off += 1
+            space.extend(run)
+
         pos = 0
         while pos < len(words):
             zero_len = self._zero_run(words, pos)
-            copy_off, copy_len = self._best_copy(words, pos, space)
+            copy_off, copy_len = self._best_copy(words, pos, space, occurrences)
             copy_cost_ok = copy_len and (
                 _OP_BITS + off_bits + _LEN_BITS < 32 * copy_len
             )
@@ -156,17 +185,17 @@ class LbeCompressor(ReferenceCompressor):
                 flush_literals()
                 tokens.append(("zero", zero_len))
                 size_bits += _OP_BITS + _LEN_BITS
-                space.extend(words[pos : pos + zero_len])
+                extend_space(words[pos : pos + zero_len])
                 pos += zero_len
             elif copy_cost_ok:
                 flush_literals()
                 tokens.append(("copy", copy_off, copy_len))
                 size_bits += _OP_BITS + off_bits + _LEN_BITS
-                space.extend(words[pos : pos + copy_len])
+                extend_space(words[pos : pos + copy_len])
                 pos += copy_len
             else:
                 literals.append(words[pos])
-                space.append(words[pos])
+                extend_space(words[pos : pos + 1])
                 pos += 1
         flush_literals()
         return tokens, size_bits
@@ -182,18 +211,25 @@ class LbeCompressor(ReferenceCompressor):
         return length
 
     def _best_copy(
-        self, words: Sequence[int], pos: int, space: Sequence[int]
+        self,
+        words: Sequence[int],
+        pos: int,
+        space: Sequence[int],
+        occurrences: Dict[int, List[int]],
     ) -> Tuple[Optional[int], int]:
         """Longest match of ``words[pos:]`` anywhere in the copy space
         (window + emitted prefix). Overlapping copies are allowed and
-        behave like LZ77: the source is read as it is produced."""
+        behave like LZ77: the source is read as it is produced.
+
+        *occurrences* indexes the copy space by word value (ascending
+        offsets), so only offsets that already match the first word are
+        extended — identical selections to the full scan, since ties on
+        length resolve to the lowest offset either way."""
         best_off: Optional[int] = None
         best_len = 0
         limit = min(_MAX_RUN_WORDS, len(words) - pos)
         space_len = len(space)
-        for off in range(space_len):
-            if space[off] != words[pos]:
-                continue
+        for off in occurrences.get(words[pos], ()):
             length = 1
             while length < limit:
                 source_index = off + length

@@ -30,10 +30,10 @@ from repro.cache.setassoc import LineId, SetAssociativeCache
 from repro.core.config import CableConfig
 from repro.core.hashtable import SignatureHashTable
 from repro.core.signature import SignatureExtractor
-from repro.util.words import bytes_to_words
+from repro.util.kernels import DATACLASS_SLOTS, line_match_mask, match_mask, popcount32
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class Reference:
     """A selected reference line."""
 
@@ -44,7 +44,7 @@ class Reference:
     line_addr: int = -1
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class SearchResult:
     """Outcome of one search."""
 
@@ -56,7 +56,7 @@ class SearchResult:
 
     @property
     def coverage(self) -> int:
-        return bin(self.combined_cbv).count("1")
+        return popcount32(self.combined_cbv)
 
     @property
     def reference_data(self) -> List[bytes]:
@@ -65,11 +65,7 @@ class SearchResult:
 
 def coverage_bit_vector(requested: Sequence[int], candidate: Sequence[int]) -> int:
     """CBV: bit *i* set when the i-th 32-bit words match exactly."""
-    cbv = 0
-    for i, (a, b) in enumerate(zip(requested, candidate)):
-        if a == b:
-            cbv |= 1 << i
-    return cbv
+    return match_mask(requested, candidate)
 
 
 def greedy_select(
@@ -90,7 +86,7 @@ def greedy_select(
         best_pos = -1
         best_gain = 0
         for pos, (__, cbv) in enumerate(remaining):
-            gain = bin(cbv & ~combined).count("1")
+            gain = popcount32(cbv & ~combined)
             if gain > best_gain:
                 best_gain = gain
                 best_pos = pos
@@ -108,7 +104,7 @@ def top_select(
     """Naive selection: the highest individual coverages, overlap
     ignored. The ablation baseline for the paper's greedy ranking —
     three near-identical references waste two pointers here."""
-    ranked = sorted(cbvs, key=lambda item: -bin(item[1]).count("1"))
+    ranked = sorted(cbvs, key=lambda item: -popcount32(item[1]))
     selected = [idx for idx, __ in ranked[:max_references]]
     combined = 0
     for idx, cbv in ranked[:max_references]:
@@ -164,7 +160,6 @@ class SearchPipeline:
         top = top[: self.config.data_access_count]
 
         # Data-array reads + CBV construction (step ④).
-        requested_words = bytes_to_words(line)
         candidates: List[Tuple[LineId, LineId, bytes, int, int]] = []
         for lid in top:
             cached = self.home_cache.read_by_lineid(lid)
@@ -174,7 +169,7 @@ class SearchPipeline:
             remote_lid = self.referencable(lid)
             if remote_lid is None:
                 continue
-            cbv = coverage_bit_vector(requested_words, bytes_to_words(cached.data))
+            cbv = line_match_mask(line, cached.data)
             if cbv == 0:
                 continue  # hash collision / dissimilar line (Fig 7)
             candidates.append((lid, remote_lid, cached.data, cbv, cached.tag))

@@ -13,23 +13,36 @@ The extraction rules from the paper:
   common content sits.
 - Words hash through H3 (Carter & Wegman), the same simple, hardware-
   friendly universal hash the authors implemented in OpenPiton.
+
+Both extraction entry points are memoized per line contents: the same
+immutable line is indexed on fill, searched on encode, and re-hashed on
+every invalidation, so the per-line work is paid once. The caches are
+per-extractor (they depend on the hash seed, the offsets and the
+trivial threshold) and LRU-bounded.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.core.config import CableConfig
+from repro.util.kernels import line_words, popcount32, trivial_mask
 from repro.util.rng import make_rng
-from repro.util.words import bytes_to_words, is_trivial_word
+
+#: Bound on the per-extractor signature memo caches.
+_SIGNATURE_CACHE_SIZE = 8192
 
 
 class H3Hash:
     """H3 universal hash family over 32-bit words.
 
     ``h(x) = XOR of q[i] for every set bit i of x`` with a fixed random
-    matrix ``q``. One XOR tree per output bit in hardware; a table walk
-    here.
+    matrix ``q``. One XOR tree per output bit in hardware; here the
+    matrix is folded into four 256-entry byte tables at construction, so
+    hashing a word is 4 lookups + 3 XORs instead of a 32-iteration bit
+    loop. :meth:`hash_bitwise` keeps the textbook bit-serial form as the
+    equivalence reference.
     """
 
     def __init__(self, seed: int, width_bits: int = 32) -> None:
@@ -38,8 +51,32 @@ class H3Hash:
         self._matrix: Tuple[int, ...] = tuple(
             rng.getrandbits(width_bits) for _ in range(32)
         )
+        self._tables: Tuple[Tuple[int, ...], ...] = tuple(
+            self._build_table(byte_pos) for byte_pos in range(4)
+        )
+
+    def _build_table(self, byte_pos: int) -> Tuple[int, ...]:
+        """XOR-fold the 8 matrix rows of one input byte over all 256
+        byte values: ``table[v] = XOR of rows[i] for set bits i of v``."""
+        rows = self._matrix[byte_pos * 8 : (byte_pos + 1) * 8]
+        table = [0] * 256
+        for value in range(1, 256):
+            low = value & -value
+            table[value] = table[value ^ low] ^ rows[low.bit_length() - 1]
+        return tuple(table)
 
     def __call__(self, word: int) -> int:
+        word &= 0xFFFFFFFF
+        tables = self._tables
+        return (
+            tables[0][word & 0xFF]
+            ^ tables[1][(word >> 8) & 0xFF]
+            ^ tables[2][(word >> 16) & 0xFF]
+            ^ tables[3][word >> 24]
+        )
+
+    def hash_bitwise(self, word: int) -> int:
+        """The original bit-serial H3 walk (reference implementation)."""
         result = 0
         bit = 0
         word &= 0xFFFFFFFF
@@ -57,6 +94,14 @@ class SignatureExtractor:
     def __init__(self, config: CableConfig) -> None:
         self.config = config
         self.hash = H3Hash(config.hash_seed)
+        # Per-instance memoization: results depend on this extractor's
+        # seed/offsets/threshold, so the caches cannot be module-level.
+        self._index_cached = lru_cache(maxsize=_SIGNATURE_CACHE_SIZE)(
+            self._index_signatures_uncached
+        )
+        self._search_cached = lru_cache(maxsize=_SIGNATURE_CACHE_SIZE)(
+            self._search_signatures_uncached
+        )
 
     # ------------------------------------------------------------------
     # Index-time: the signatures inserted into the hash table
@@ -70,17 +115,21 @@ class SignatureExtractor:
         signatures and is simply not indexed — zero lines compress
         perfectly without references anyway.
         """
-        words = bytes_to_words(line)
+        return list(self._index_cached(line))
+
+    def _index_signatures_uncached(self, line: bytes) -> Tuple[int, ...]:
+        words = line_words(line)
+        tmask = trivial_mask(line, self.config.trivial_threshold_bits)
         signatures: List[int] = []
         seen = set()
-        threshold = self.config.trivial_threshold_bits
+        count = len(words)
         for offset in self.config.signature_offsets[: self.config.signatures_per_line]:
             start = offset // 4
             chosen = None
-            for step in range(len(words)):
-                word = words[(start + step) % len(words)]
-                if not is_trivial_word(word, threshold):
-                    chosen = word
+            for step in range(count):
+                index = (start + step) % count
+                if not (tmask >> index) & 1:
+                    chosen = words[index]
                     break
             if chosen is None:
                 continue
@@ -91,7 +140,7 @@ class SignatureExtractor:
         # If the line has fewer distinct non-trivial words than offsets
         # the dedup above may under-fill; that is fine and matches the
         # "often much less" remark in §III-C.
-        return signatures
+        return tuple(signatures)
 
     # ------------------------------------------------------------------
     # Search-time: all candidate signatures of the requested line
@@ -99,21 +148,27 @@ class SignatureExtractor:
 
     def search_signatures(self, line: bytes) -> List[int]:
         """One signature per distinct non-trivial word, line order."""
-        words = bytes_to_words(line)
-        threshold = self.config.trivial_threshold_bits
+        return list(self._search_cached(line))
+
+    def _search_signatures_uncached(self, line: bytes) -> Tuple[int, ...]:
+        words = line_words(line)
+        tmask = trivial_mask(line, self.config.trivial_threshold_bits)
+        hash_word = self.hash
         signatures: List[int] = []
         seen = set()
-        for word in words:
-            if is_trivial_word(word, threshold):
-                continue
-            sig = self.hash(word)
+        if tmask == 0:
+            candidates = words
+        else:
+            candidates = [
+                word for i, word in enumerate(words) if not (tmask >> i) & 1
+            ]
+        for word in candidates:
+            sig = hash_word(word)
             if sig not in seen:
                 seen.add(sig)
                 signatures.append(sig)
-        return signatures
+        return tuple(signatures)
 
     def nontrivial_word_count(self, line: bytes) -> int:
-        threshold = self.config.trivial_threshold_bits
-        return sum(
-            0 if is_trivial_word(w, threshold) else 1 for w in bytes_to_words(line)
-        )
+        tmask = trivial_mask(line, self.config.trivial_threshold_bits)
+        return len(line) // 4 - popcount32(tmask)

@@ -23,15 +23,18 @@ decouples CABLE from the replacement policy (§II-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.cache.setassoc import CacheGeometry, LineId
 
 
-@dataclass(frozen=True)
-class NormalizedHomeLid:
-    """(alias, home way): a HomeLID with the remote index bits removed."""
+class NormalizedHomeLid(NamedTuple):
+    """(alias, home way): a HomeLID with the remote index bits removed.
+
+    A NamedTuple rather than a dataclass: WMT rows are compared against
+    a wanted entry on every reference-translation probe, and tuple
+    equality runs in C.
+    """
 
     alias: int
     home_way: int
@@ -49,6 +52,11 @@ class WayMapTable:
         self.remote = remote
         self.alias_bits = home.index_bits - remote.index_bits
         self._remote_index_mask = remote.sets - 1
+        # Width constants consulted on every translation (hot path).
+        self._home_way_bits = home.way_bits
+        self._home_way_mask = (1 << home.way_bits) - 1
+        self._remote_way_bits = remote.way_bits
+        self._remote_index_bits = remote.index_bits
         self._entries: List[List[Optional[NormalizedHomeLid]]] = [
             [None] * remote.ways for _ in range(remote.sets)
         ]
@@ -76,15 +84,15 @@ class WayMapTable:
     # ------------------------------------------------------------------
 
     def normalize(self, home_lid: LineId) -> NormalizedHomeLid:
-        home_index, home_way = home_lid.unpack(self.home.way_bits)
-        return NormalizedHomeLid(home_index >> self.remote.index_bits, home_way)
+        home_index, home_way = home_lid.unpack(self._home_way_bits)
+        return NormalizedHomeLid(home_index >> self._remote_index_bits, home_way)
 
     def denormalize(self, entry: NormalizedHomeLid, remote_index: int) -> LineId:
-        home_index = (entry.alias << self.remote.index_bits) | remote_index
-        return LineId.pack(home_index, entry.home_way, self.home.way_bits)
+        home_index = (entry.alias << self._remote_index_bits) | remote_index
+        return LineId.pack(home_index, entry.home_way, self._home_way_bits)
 
     def remote_index_of(self, home_lid: LineId) -> int:
-        home_index, __ = home_lid.unpack(self.home.way_bits)
+        home_index, __ = home_lid.unpack(self._home_way_bits)
         return home_index & self._remote_index_mask
 
     # ------------------------------------------------------------------
@@ -93,12 +101,16 @@ class WayMapTable:
 
     def remote_lid_for(self, home_lid: LineId) -> Optional[LineId]:
         """HomeLID → RemoteLID, or None when not resident remotely."""
-        remote_index = self.remote_index_of(home_lid)
-        wanted = self.normalize(home_lid)
+        home_index = home_lid >> self._home_way_bits
+        remote_index = home_index & self._remote_index_mask
+        wanted = (
+            home_index >> self._remote_index_bits,
+            home_lid & self._home_way_mask,
+        )
         for way, entry in enumerate(self._entries[remote_index]):
             if entry == wanted:
                 self.stats["hits"] += 1
-                return LineId.pack(remote_index, way, self.remote.way_bits)
+                return LineId.pack(remote_index, way, self._remote_way_bits)
         self.stats["misses"] += 1
         return None
 

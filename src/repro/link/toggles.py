@@ -17,6 +17,7 @@ from typing import Iterable, List
 from repro.compression.base import CompressedBlock
 from repro.core.payload import FLAG_BITS, Payload, PayloadKind, REFCOUNT_BITS
 from repro.util.bits import BitWriter, bits_for
+from repro.util.kernels import count_toggles as _count_toggles_kernel
 
 
 def flitize(data: bytes, bit_count: int, width_bits: int = 16) -> List[int]:
@@ -35,13 +36,13 @@ def flitize(data: bytes, bit_count: int, width_bits: int = 16) -> List[int]:
 
 
 def count_toggles(flits: Iterable[int], previous: int = 0) -> int:
-    """Transitions between consecutive flits (starting from *previous*)."""
-    toggles = 0
-    prev = previous
-    for flit in flits:
-        toggles += bin(prev ^ flit).count("1")
-        prev = flit
-    return toggles
+    """Transitions between consecutive flits (starting from *previous*).
+
+    Delegates to the shared kernel: vectorized popcount over the XOR of
+    consecutive flits when numpy is available, the shared ``popcount32``
+    loop otherwise.
+    """
+    return _count_toggles_kernel(flits, previous)
 
 
 # ----------------------------------------------------------------------

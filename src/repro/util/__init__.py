@@ -1,5 +1,14 @@
 """Low-level helpers shared across the package."""
 
+from repro.util.kernels import (
+    HAVE_NUMPY,
+    count_toggles,
+    line_match_mask,
+    line_words,
+    match_mask,
+    popcount32,
+    trivial_mask,
+)
 from repro.util.words import (
     WORD_BYTES,
     bytes_to_words,
@@ -18,6 +27,13 @@ __all__ = [
     "is_trivial_word",
     "word_at",
     "line_zero_fraction",
+    "HAVE_NUMPY",
+    "count_toggles",
+    "line_match_mask",
+    "line_words",
+    "match_mask",
+    "popcount32",
+    "trivial_mask",
     "BitWriter",
     "BitReader",
     "bits_for",

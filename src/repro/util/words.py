@@ -12,14 +12,32 @@ from __future__ import annotations
 import struct
 from typing import List, Sequence
 
+from repro.util.kernels import line_words, popcount32, trivial_mask
+
 #: Size in bytes of the 32-bit words CABLE samples and compares.
 WORD_BYTES = 4
 
 _U32_MASK = 0xFFFFFFFF
 
+__all__ = [
+    "WORD_BYTES",
+    "bytes_to_words",
+    "words_to_bytes",
+    "word_at",
+    "is_trivial_word",
+    "line_zero_fraction",
+    "line_words",
+    "trivial_mask",
+    "popcount32",
+]
+
 
 def bytes_to_words(line: bytes) -> List[int]:
     """Split *line* into little-endian unsigned 32-bit words.
+
+    Returns a fresh mutable list each call; hot paths that only *read*
+    the words should use the memoized immutable view
+    :func:`repro.util.kernels.line_words` instead.
 
     Raises :class:`ValueError` if the line length is not a multiple of
     four bytes, since CABLE's structures assume word alignment.
@@ -56,7 +74,7 @@ def is_trivial_word(word: int, threshold_bits: int = 24) -> bool:
 
 def line_zero_fraction(line: bytes) -> float:
     """Fraction of 32-bit words in *line* that are exactly zero."""
-    words = bytes_to_words(line)
+    words = line_words(line)
     if not words:
         return 0.0
     return sum(1 for w in words if w == 0) / len(words)

@@ -1,0 +1,212 @@
+"""Equivalence tests for the hot-path kernels.
+
+The kernels layer exists purely for speed: every fast path (numpy,
+``int.bit_count``, byte-sliced H3 tables, memo caches) must produce
+bit-identical results to the straightforward reference implementation
+it replaced. These tests pin that equivalence, including the
+pure-Python fallbacks CI exercises via ``REPRO_PURE_PYTHON=1``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CableConfig
+from repro.core.signature import H3Hash, SignatureExtractor
+from repro.util.kernels import (
+    HAVE_NUMPY,
+    _count_toggles_pure,
+    _line_match_mask_pure,
+    _popcount_pure,
+    _trivial_mask_pure,
+    count_toggles,
+    line_match_mask,
+    line_words,
+    match_mask,
+    popcount32,
+    trivial_mask,
+)
+from repro.util.words import bytes_to_words, is_trivial_word
+
+if HAVE_NUMPY:
+    from repro.util.kernels import (
+        _count_toggles_numpy,
+        _line_match_mask_numpy,
+        _trivial_mask_numpy,
+    )
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy kernels inactive")
+
+words_u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+aligned_lines = st.binary(min_size=0, max_size=520).map(
+    lambda raw: raw[: len(raw) - len(raw) % 4]
+)
+
+
+# ----------------------------------------------------------------------
+# popcount32
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "value",
+    [0, 1, 2, 0x80000000, 0xFFFFFFFF, (1 << 64) - 1, 1 << 64, (1 << 128) + 1],
+)
+def test_popcount_edges(value):
+    assert popcount32(value) == bin(value).count("1")
+    assert _popcount_pure(value) == bin(value).count("1")
+
+
+@given(st.integers(min_value=0, max_value=(1 << 80) - 1))
+def test_popcount_matches_reference(value):
+    assert popcount32(value) == bin(value).count("1")
+
+
+# ----------------------------------------------------------------------
+# Word views
+# ----------------------------------------------------------------------
+
+@given(aligned_lines)
+def test_line_words_matches_bytes_to_words(line):
+    assert list(line_words(line)) == bytes_to_words(line)
+
+
+def test_line_words_rejects_misaligned():
+    with pytest.raises(ValueError):
+        line_words(b"abc")
+
+
+def test_line_words_is_memoized_and_immutable():
+    line = bytes(range(64))
+    view = line_words(line)
+    assert isinstance(view, tuple)
+    assert line_words(bytes(range(64))) is view  # same contents, same object
+
+
+# ----------------------------------------------------------------------
+# Trivial-word mask
+# ----------------------------------------------------------------------
+
+@given(aligned_lines)
+def test_trivial_mask_matches_per_word_rule(line):
+    mask = trivial_mask(line)
+    for i, word in enumerate(line_words(line)):
+        assert bool((mask >> i) & 1) == is_trivial_word(word)
+
+
+@needs_numpy
+@given(aligned_lines)
+def test_trivial_mask_numpy_matches_pure(line):
+    assert _trivial_mask_numpy(line) == _trivial_mask_pure(line)
+
+
+@needs_numpy
+@pytest.mark.parametrize("threshold", [16, 24, 28])
+def test_trivial_mask_numpy_matches_pure_large(threshold):
+    line = struct.pack("<256I", *((i * 2654435761) & 0xFFFFFFFF for i in range(256)))
+    assert _trivial_mask_numpy(line, threshold) == _trivial_mask_pure(line, threshold)
+
+
+# ----------------------------------------------------------------------
+# Coverage bit vectors
+# ----------------------------------------------------------------------
+
+@given(aligned_lines, aligned_lines)
+def test_line_match_mask_matches_word_compare(line_a, line_b):
+    expected = match_mask(bytes_to_words(line_a), bytes_to_words(line_b))
+    assert line_match_mask(line_a, line_b) == expected
+    assert _line_match_mask_pure(line_a, line_b) == expected
+
+
+@given(aligned_lines)
+def test_line_match_mask_identical_lines(line):
+    assert line_match_mask(line, line) == (1 << (len(line) // 4)) - 1
+
+
+@needs_numpy
+@given(aligned_lines, aligned_lines)
+def test_line_match_mask_numpy_matches_pure(line_a, line_b):
+    assert _line_match_mask_numpy(line_a, line_b) == _line_match_mask_pure(
+        line_a, line_b
+    )
+
+
+@needs_numpy
+def test_line_match_mask_numpy_matches_pure_large():
+    line_a = struct.pack("<128I", *range(128))
+    line_b = struct.pack("<128I", *(w if w % 3 else w + 1 for w in range(128)))
+    assert _line_match_mask_numpy(line_a, line_b) == _line_match_mask_pure(
+        line_a, line_b
+    )
+
+
+# ----------------------------------------------------------------------
+# Toggle counting
+# ----------------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=(1 << 66) - 1), max_size=64),
+    st.integers(min_value=0, max_value=(1 << 66) - 1),
+)
+def test_count_toggles_matches_pure(flits, previous):
+    expected = _count_toggles_pure(flits, previous)
+    assert count_toggles(flits, previous) == expected
+    if HAVE_NUMPY and hasattr(__import__("numpy"), "bitwise_count"):
+        assert _count_toggles_numpy(flits, previous) == expected
+
+
+def test_count_toggles_known_values():
+    # 0 -> 0b1111 -> 0 -> 0b1010: 4 + 4 + 2 toggles.
+    assert count_toggles([0b1111, 0, 0b1010]) == 10
+    assert count_toggles([], previous=7) == 0
+
+
+# ----------------------------------------------------------------------
+# H3: byte-sliced tables vs the bit-serial reference
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=2**31), words_u32)
+def test_h3_tables_match_bitwise(seed, word):
+    h3 = H3Hash(seed)
+    assert h3(word) == h3.hash_bitwise(word)
+
+
+def test_h3_tables_match_bitwise_exhaustive_bytes():
+    h3 = H3Hash(12345)
+    for shift in (0, 8, 16, 24):
+        for value in range(256):
+            word = value << shift
+            assert h3(word) == h3.hash_bitwise(word)
+
+
+def test_h3_is_linear_over_xor():
+    h3 = H3Hash(99)
+    assert h3(0) == 0
+    assert h3(0xDEADBEEF ^ 0x12345678) == h3(0xDEADBEEF) ^ h3(0x12345678)
+
+
+# ----------------------------------------------------------------------
+# Memoized signature extraction
+# ----------------------------------------------------------------------
+
+@given(aligned_lines)
+@settings(max_examples=50)
+def test_memoized_extraction_matches_fresh(line):
+    warm = SignatureExtractor(CableConfig())
+    warm.index_signatures(line)  # populate the memo
+    fresh = SignatureExtractor(CableConfig())
+    assert warm.index_signatures(line) == fresh.index_signatures(line)
+    assert warm.search_signatures(line) == fresh.search_signatures(line)
+
+
+def test_extraction_returns_private_lists():
+    extractor = SignatureExtractor(CableConfig())
+    line = struct.pack("<16I", *(0x01000000 + i for i in range(16)))
+    first = extractor.search_signatures(line)
+    first.append(0xBAD)  # caller-side mutation must not poison the cache
+    assert extractor.search_signatures(line) != first
+    assert extractor.search_signatures(line) == first[:-1]
