@@ -1,0 +1,11 @@
+"""Resilience sweep — fault injection vs. link recovery."""
+
+from conftest import run_experiment
+from repro.experiments import resilience
+
+
+def test_resilience(benchmark, scale):
+    result = run_experiment(benchmark, resilience.run, "resilience", scale=scale)
+    assert result.summary["silent_corruptions"] == 0
+    assert result.summary["breaker_trips_at_max_rate"] > 0
+    assert result.summary["breaker_rearms_at_max_rate"] > 0

@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "toggles": ("repro.experiments.toggles", True),
     "control": ("repro.experiments.control", True),
     "ablations": ("repro.experiments.ablations", True),
+    "resilience": ("repro.experiments.resilience", True),
 }
 
 

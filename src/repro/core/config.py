@@ -9,6 +9,9 @@ shortcut threshold, and the Table IV compression latencies.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.fault.plan import FaultPlan, RecoveryPolicy
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,22 @@ class CableConfig:
 
     # --- race handling (§IV-A) -----------------------------------------
     eviction_buffer_entries: int = 16
+    #: What a full eviction buffer does with the next record:
+    #: "drop-oldest" (hardware behaviour — the oldest unacknowledged
+    #: entry is sacrificed and counted) or "strict" (raise
+    #: :class:`repro.core.errors.EvictionBufferOverflowError`; used by
+    #: tests to prove a sizing is sufficient).
+    eviction_buffer_policy: str = "drop-oldest"
+
+    # --- fault injection & link recovery -------------------------------
+    #: When set (and any rate is nonzero), the link runs through the
+    #: fault injectors of :mod:`repro.fault.injectors`.
+    faults: Optional[FaultPlan] = None
+    #: When set, payloads cross the link as CRC-guarded frames with
+    #: NACK/retransmit recovery and a degradation circuit breaker
+    #: (:mod:`repro.link.recovery`). Implied (with defaults) whenever
+    #: ``faults`` is active.
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.line_bytes % 4:
@@ -85,6 +104,10 @@ class CableConfig:
             raise ValueError("hash_table_scale must be positive")
         if self.ranking_policy not in ("greedy", "top"):
             raise ValueError("ranking_policy must be 'greedy' or 'top'")
+        if self.eviction_buffer_policy not in ("drop-oldest", "strict"):
+            raise ValueError(
+                "eviction_buffer_policy must be 'drop-oldest' or 'strict'"
+            )
 
     @property
     def words_per_line(self) -> int:

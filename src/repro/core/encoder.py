@@ -23,17 +23,24 @@ from repro.cache.setassoc import LineId, SetAssociativeCache
 from repro.compression.base import ReferenceCompressor
 from repro.compression.registry import make_engine
 from repro.core.config import CableConfig
+from repro.core.errors import DecompressionError, StaleReferenceError
 from repro.core.evictbuf import EvictionBuffer
 from repro.core.hashtable import SignatureHashTable
 from repro.core.payload import Payload, PayloadKind, choose_payload
 from repro.core.search import SearchPipeline, SearchResult
 from repro.core.signature import SignatureExtractor
 from repro.core.wmt import WayMapTable
+from repro.link.recovery import Delivery, RecoveryLayer
+from repro.link.wire import wire_format_for
 
-
-class DecompressionError(RuntimeError):
-    """A payload failed to reconstruct the original line — a
-    synchronization bug, never expected in a correct configuration."""
+__all__ = [
+    "CableHomeEncoder",
+    "CableLinkPair",
+    "CableRemoteDecoder",
+    "DecompressionError",  # canonical home is repro.core.errors
+    "EncodeOutcome",
+    "TransferRecord",
+]
 
 
 def _make_reference_engine(name: str) -> ReferenceCompressor:
@@ -146,16 +153,16 @@ class CableHomeEncoder:
         for i, remote_lid in enumerate(payload.remote_lids):
             home_lid = self.wmt.home_lid_for(remote_lid)
             if home_lid is None:
-                raise DecompressionError(
+                raise StaleReferenceError(
                     f"write-back reference {remote_lid} is not tracked in the WMT"
                 )
             line = self.home_cache.read_by_lineid(home_lid)
             if line is None:
-                raise DecompressionError(
+                raise StaleReferenceError(
                     f"WMT points at an empty home slot {home_lid}"
                 )
             if payload.ref_addrs and line.tag != payload.ref_addrs[i]:
-                raise DecompressionError(
+                raise StaleReferenceError(
                     "write-back reference desynchronized: "
                     f"expected line {payload.ref_addrs[i]:#x}, found {line.tag:#x}"
                 )
@@ -224,7 +231,9 @@ class CableRemoteDecoder:
             bucket_entries=config.hash_bucket_entries,
         )
         self.engine = _make_reference_engine(config.engine)
-        self.evict_buffer = EvictionBuffer(config.eviction_buffer_entries)
+        self.evict_buffer = EvictionBuffer(
+            config.eviction_buffer_entries, config.eviction_buffer_policy
+        )
         self.pipeline = SearchPipeline(
             config, self.extractor, self.hash_table, remote_cache, self._referencable
         )
@@ -260,7 +269,7 @@ class CableRemoteDecoder:
             if rescued is not None:
                 self.stats["rescued_references"] += 1
                 return rescued
-        raise DecompressionError(
+        raise StaleReferenceError(
             f"reference {remote_lid} missing from remote cache and eviction buffer"
         )
 
@@ -363,9 +372,25 @@ class CableLinkPair:
             "fill_bits": 0,
             "writeback_bits": 0,
             "raw_bits": 0,
+            "overhead_bits": 0,
             "fills": 0,
             "writebacks": 0,
         }
+        # Lossy-link mode: a FaultPlan or RecoveryPolicy on the config
+        # switches transfers onto the framed wire path with
+        # NACK/retransmit recovery (repro.link.recovery).
+        recovery = config.recovery
+        if recovery is None and config.faults is not None and config.faults.any_faults:
+            from repro.fault.plan import RecoveryPolicy
+
+            recovery = RecoveryPolicy()
+        self.recovery_layer: Optional[RecoveryLayer] = None
+        if recovery is not None:
+            fmt = wire_format_for(config, self.home_encoder.engine)
+            self.recovery_layer = RecoveryLayer(
+                recovery, fmt, config.engine, config.faults
+            )
+            self.recovery_layer.bind(self)
         pair.add_observer(self._on_event)
 
     # ------------------------------------------------------------------
@@ -392,6 +417,9 @@ class CableLinkPair:
             self.home_encoder.on_home_evict(event)
 
     def _transfer_fill(self, event: TransferEvent) -> None:
+        if self.recovery_layer is not None:
+            self._transfer_fill_reliable(event)
+            return
         if self.enabled:
             outcome = self.home_encoder.encode(
                 event.line_addr, event.data, event.home_lid
@@ -421,6 +449,9 @@ class CableLinkPair:
         self._account("fill", event, payload, search)
 
     def _transfer_writeback(self, event: TransferEvent) -> None:
+        if self.recovery_layer is not None:
+            self._transfer_writeback_reliable(event)
+            return
         if self.enabled:
             outcome = self.remote_decoder.encode_writeback(
                 event.line_addr, event.data, event.remote_lid
@@ -442,6 +473,114 @@ class CableLinkPair:
                     f"write-back of line {event.line_addr:#x} decompressed incorrectly"
                 )
         self._account("writeback", event, payload, search)
+
+    # ------------------------------------------------------------------
+    # Lossy-link transfers (repro.link.recovery)
+    # ------------------------------------------------------------------
+
+    def _raw_payload(self, event: TransferEvent) -> Payload:
+        return Payload(
+            kind=PayloadKind.UNCOMPRESSED,
+            line_addr=event.line_addr,
+            line_bytes=len(event.data),
+            raw=event.data,
+            remotelid_bits=self.config.remotelid_bits,
+        )
+
+    def _transfer_fill_reliable(self, event: TransferEvent) -> None:
+        layer = self.recovery_layer
+        search = None
+        if not self.enabled or layer.breaker.is_open:
+            payload = self._raw_payload(event)
+            if layer.breaker.is_open:
+                layer.health.bump("breaker_raw_transfers")
+        else:
+            outcome = self.home_encoder.encode(
+                event.line_addr, event.data, event.home_lid
+            )
+            payload, search = outcome.payload, outcome.search
+        delivery = layer.link.deliver(
+            "fill",
+            payload,
+            self.remote_decoder.decode,
+            lambda: self._raw_payload(event),
+        )
+        if self.verify and delivery.data != event.data:
+            layer.health.bump("silent_corruptions")
+            raise DecompressionError(
+                f"fill for line {event.line_addr:#x} decompressed incorrectly"
+            )
+        self._breaker_tick(delivery)
+        self.home_encoder.on_fill_sent(event)
+        self.remote_decoder.on_fill_received(event)
+        self._account("fill", event, delivery.payload, search)
+        self.totals["overhead_bits"] += delivery.overhead_bits
+
+    def _transfer_writeback_reliable(self, event: TransferEvent) -> None:
+        layer = self.recovery_layer
+        search = None
+        if not self.enabled or layer.breaker.is_open:
+            payload = self._raw_payload(event)
+            if layer.breaker.is_open:
+                layer.health.bump("breaker_raw_transfers")
+        else:
+            outcome = self.remote_decoder.encode_writeback(
+                event.line_addr, event.data, event.remote_lid
+            )
+            payload, search = outcome.payload, outcome.search
+        delivery = layer.link.deliver(
+            "writeback",
+            payload,
+            self.home_encoder.decode_writeback,
+            lambda: self._raw_payload(event),
+        )
+        if self.verify and delivery.data != event.data:
+            layer.health.bump("silent_corruptions")
+            raise DecompressionError(
+                f"write-back of line {event.line_addr:#x} decompressed incorrectly"
+            )
+        self._breaker_tick(delivery)
+        self._account("writeback", event, delivery.payload, search)
+        self.totals["overhead_bits"] += delivery.overhead_bits
+
+    def _breaker_tick(self, delivery: Delivery) -> None:
+        """Feed one transfer outcome to the circuit breaker."""
+        layer = self.recovery_layer
+        breaker = layer.breaker
+        if breaker.is_open:
+            if breaker.tick_open():
+                layer.health.bump("breaker_recoveries")
+        elif breaker.record(not delivery.degraded):
+            layer.health.bump("breaker_trips")
+            if layer.policy.resync_on_trip:
+                # A real link would retrain; the model re-audits and
+                # repairs WMT/hash state so the post-cooldown window
+                # starts from synchronized metadata.
+                self.resync()
+
+    def resync(self):
+        """Audit and repair both endpoints' metadata (§III-F auditor).
+
+        Returns the :class:`repro.core.sync.AuditReport`; when a
+        recovery layer is active its health counters record the pass.
+        """
+        from repro.core.sync import audit  # lazy: sync imports this module
+
+        report = audit(self, repair=True)
+        if self.recovery_layer is not None:
+            self.recovery_layer.health.bump("resyncs")
+            self.recovery_layer.health.bump("resync_repairs", report.repairs)
+        return report
+
+    @property
+    def health(self) -> dict:
+        """Recovery + fault-injection counters (empty without a layer)."""
+        if self.recovery_layer is None:
+            return {}
+        counts = self.recovery_layer.health.as_dict()
+        counts.update(self.recovery_layer.fault_stats())
+        counts["faults_injected"] = self.recovery_layer.faults_injected
+        return counts
 
     def _account(self, direction, event, payload, search) -> None:
         record = TransferRecord(

@@ -1,0 +1,84 @@
+"""Typed failure hierarchy for the CABLE protocol stack.
+
+CABLE's correctness argument (§III-B, §IV-A) is that heuristics may be
+arbitrarily wrong but the protocol must never *silently* corrupt data.
+That argument only holds if failures are distinguishable: a corrupted
+wire payload, a reference lost to an in-flight eviction and a genuine
+synchronization bug all need different handling (NACK/retransmit,
+retransmit-as-raw, crash loudly). This module is the single place the
+whole stack draws its exception types from.
+
+Hierarchy::
+
+    DecompressionError                 a payload failed to reconstruct
+    ├── WireDecodeError                the *bits* could not be parsed
+    │   ├── TruncatedPayloadError      stream ended mid-token
+    │   ├── CorruptPayloadError        bits parse to impossible tokens
+    │   │   └── CrcMismatchError       frame checksum failed
+    │   └── SequenceError              out-of-order / replayed frame
+    ├── StaleReferenceError            a reference left the remote
+    │                                  cache (and eviction buffer)
+    │                                  while the response was in flight
+    └── LinkRecoveryError              retries *and* the raw fallback
+                                       were exhausted — the link is down
+
+``WireDecodeError`` and ``StaleReferenceError`` are *recoverable*: the
+receiver NACKs and the sender retransmits (eventually as a raw,
+reference-free line). ``LinkRecoveryError`` and a bare
+``DecompressionError`` are not — they indicate a dead wire or a
+protocol bug respectively.
+"""
+
+from __future__ import annotations
+
+
+class DecompressionError(RuntimeError):
+    """A payload failed to reconstruct the original line — a
+    synchronization bug, never expected in a correct configuration."""
+
+
+class WireDecodeError(DecompressionError):
+    """The wire bits could not be parsed back into a payload.
+
+    Distinguishes transmission corruption from programming bugs: the
+    decode paths in :mod:`repro.link.wire` raise (subclasses of) this
+    for any malformed input, so callers can NACK instead of crashing.
+    """
+
+
+class TruncatedPayloadError(WireDecodeError):
+    """The bit stream ended in the middle of a token."""
+
+
+class CorruptPayloadError(WireDecodeError):
+    """The bits parse to an impossible token stream (invalid opcode,
+    token overrun, out-of-range field)."""
+
+
+class CrcMismatchError(CorruptPayloadError):
+    """The frame checksum did not match its payload."""
+
+
+class SequenceError(WireDecodeError):
+    """A frame arrived with an unexpected sequence tag (reordered or
+    replayed); the receiver discards it and NACKs."""
+
+
+class StaleReferenceError(DecompressionError):
+    """A reference pointer resolves to nothing usable: the line left
+    the remote cache (and the eviction buffer) while the response was
+    in flight (§IV-A), or the WMT translation went stale.
+
+    Recoverable — the remote NACKs and the home retransmits without
+    references.
+    """
+
+
+class LinkRecoveryError(DecompressionError):
+    """Bounded retries and the retransmit-as-raw fallback were both
+    exhausted; the link cannot deliver this line."""
+
+
+class EvictionBufferOverflowError(RuntimeError):
+    """The eviction buffer was asked to hold more than its capacity
+    under the ``"strict"`` overflow policy."""

@@ -19,6 +19,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.setassoc import LineId
+from repro.core.errors import EvictionBufferOverflowError
+
+#: Valid overflow policies for a full buffer (see :class:`EvictionBuffer`).
+OVERFLOW_POLICIES = ("drop-oldest", "strict")
 
 
 @dataclass(frozen=True)
@@ -30,16 +34,43 @@ class BufferedEviction:
 
 
 class EvictionBuffer:
-    """Remote-side FIFO of unacknowledged evictions."""
+    """Remote-side FIFO of unacknowledged evictions.
 
-    def __init__(self, capacity: int = 16) -> None:
+    ``overflow_policy`` makes the bounded-capacity behaviour explicit:
+
+    - ``"drop-oldest"`` (default, what hardware does): a record into a
+      full buffer sacrifices the oldest unacknowledged entry and bumps
+      ``stats["overflows"]``. Correct as long as the dropped entry is
+      older than every in-flight reference; a reference that *did*
+      need it surfaces as a failed rescue, never as silent corruption.
+    - ``"strict"``: raise
+      :class:`~repro.core.errors.EvictionBufferOverflowError` instead.
+      Tests use this to prove a buffer sizing never overflows under a
+      given workload.
+    """
+
+    def __init__(
+        self, capacity: int = 16, overflow_policy: str = "drop-oldest"
+    ) -> None:
         if capacity < 1:
             raise ValueError("eviction buffer needs at least one entry")
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow_policy must be one of {OVERFLOW_POLICIES}, "
+                f"got {overflow_policy!r}"
+            )
         self.capacity = capacity
+        self.overflow_policy = overflow_policy
         self._entries: List[BufferedEviction] = []
         self._next_seq = 1
         self._acked = 0
-        self.stats = {"recorded": 0, "acknowledged": 0, "rescues": 0, "overflows": 0}
+        self.stats = {
+            "recorded": 0,
+            "acknowledged": 0,
+            "rescues": 0,
+            "overflows": 0,
+            "high_water": 0,
+        }
 
     # ------------------------------------------------------------------
     # Remote side
@@ -47,6 +78,14 @@ class EvictionBuffer:
 
     def record(self, remote_lid: LineId, line_addr: int, data: bytes) -> int:
         """Park a copy of an evicted line; returns its EvictSeq."""
+        if (
+            len(self._entries) >= self.capacity
+            and self.overflow_policy == "strict"
+        ):
+            raise EvictionBufferOverflowError(
+                f"eviction buffer full ({self.capacity} entries) recording "
+                f"line {line_addr:#x}"
+            )
         seq = self._next_seq
         self._next_seq += 1
         self._entries.append(
@@ -60,6 +99,7 @@ class EvictionBuffer:
             # is older than every in-flight reference.
             self._entries.pop(0)
             self.stats["overflows"] += 1
+        self.stats["high_water"] = max(self.stats["high_water"], len(self._entries))
         return seq
 
     @property

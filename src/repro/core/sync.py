@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.cache.line import CoherenceState
+from repro.cache.setassoc import LineId
 from repro.core.encoder import CableLinkPair
 
 
@@ -38,14 +39,23 @@ class AuditReport:
     wmt_entries_checked: int = 0
     remote_lines_checked: int = 0
     hash_entries_checked: int = 0
+    #: Corrective actions applied when auditing with ``repair=True``.
+    repairs: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
 
-def audit(link: CableLinkPair) -> AuditReport:
-    """Check invariants I1–I4 on a live CABLE link pair."""
+def audit(link: CableLinkPair, repair: bool = False) -> AuditReport:
+    """Check invariants I1–I4 on a live CABLE link pair.
+
+    With ``repair=True`` any violation triggers a metadata resync —
+    the model of a link retrain: the WMT is rebuilt from the two
+    caches' actual contents and out-of-range hash entries are
+    scrubbed. Repairs are counted in ``report.repairs``; the returned
+    violations describe the state *before* repair.
+    """
     report = AuditReport()
     pair = link.pair
     wmt = link.home_encoder.wmt
@@ -91,6 +101,20 @@ def audit(link: CableLinkPair) -> AuditReport:
                 f"I1: WMT round-trip failed for line {line.tag:#x}"
             )
 
+    # I1 (reverse) — no dangling WMT entries: every valid entry's
+    # remote slot must actually hold a line. A lost eviction notice
+    # leaves exactly this kind of dangling entry behind (mismatched
+    # slots are already reported by the forward pass above).
+    for remote_index, row in enumerate(wmt._entries):
+        for remote_way, entry in enumerate(row):
+            if entry is None:
+                continue
+            remote_lid = LineId.pack(remote_index, remote_way, wmt.remote.way_bits)
+            if remote.read_by_lineid(remote_lid) is None:
+                report.violations.append(
+                    f"I1: WMT tracks empty remote slot {int(remote_lid)}"
+                )
+
     # I3 — hash-table soundness: every stored LineID must at least be a
     # plausible home slot (stale is fine; out-of-range is a bug).
     geometry = home.geometry
@@ -100,4 +124,51 @@ def audit(link: CableLinkPair) -> AuditReport:
             index, way = lid.unpack(geometry.way_bits)
             if not (0 <= index < geometry.sets and 0 <= way < geometry.ways):
                 report.violations.append(f"I3: hash entry {int(lid)} out of range")
+
+    if repair and not report.ok:
+        report.repairs = _repair(link)
     return report
+
+
+def _repair(link: CableLinkPair) -> int:
+    """Resynchronize metadata from ground truth (the cache arrays).
+
+    Rebuilds the WMT so it maps exactly the remote cache's current
+    contents, and scrubs out-of-range LineIDs from both signature hash
+    tables. Stale-but-in-range hash entries are left alone — they are
+    tolerated by design (I3) and age out FIFO-style.
+    """
+    repairs = 0
+    pair = link.pair
+    wmt = link.home_encoder.wmt
+    home, remote = pair.home, pair.remote
+
+    home_by_tag = {line.tag: home_lid for home_lid, line in home}
+    wanted = [[None] * wmt.remote.ways for _ in range(wmt.remote.sets)]
+    for remote_lid, line in remote:
+        home_lid = home_by_tag.get(line.tag)
+        if home_lid is None:
+            continue  # an I4 violation; the WMT must not advertise it
+        remote_index, remote_way = remote_lid.unpack(wmt.remote.way_bits)
+        wanted[remote_index][remote_way] = wmt.normalize(home_lid)
+    for remote_index, row in enumerate(wmt._entries):
+        for remote_way, entry in enumerate(row):
+            if entry != wanted[remote_index][remote_way]:
+                repairs += 1
+    wmt._entries = wanted
+
+    for table, geometry in (
+        (link.home_encoder.hash_table, home.geometry),
+        (link.remote_decoder.hash_table, remote.geometry),
+    ):
+        for bucket in table._buckets.values():
+            kept = []
+            for lid in bucket:
+                index, way = lid.unpack(geometry.way_bits)
+                if 0 <= index < geometry.sets and 0 <= way < geometry.ways:
+                    kept.append(lid)
+                else:
+                    repairs += 1
+            if len(kept) != len(bucket):
+                bucket[:] = kept
+    return repairs

@@ -1,0 +1,248 @@
+"""Deterministic, seedable fault injectors.
+
+Three injectors cover the failure surface of one CABLE link, each
+driven by an independent RNG stream derived from the plan's seed (via
+:func:`repro.util.rng.make_rng`), so campaigns are exactly repeatable:
+
+- :class:`WireFaultInjector` — physical-layer damage to framed bits
+  (bit flips, truncation);
+- :class:`ChannelFaultInjector` — transport-layer message faults
+  (drop, reorder, delay);
+- :class:`StateFaultInjector` — metadata sabotage on a live
+  :class:`~repro.core.encoder.CableLinkPair` (stale WMT entries,
+  silent remote evictions mid-flight, hash-bucket corruption).
+
+Every injected fault increments a per-category counter in ``stats`` so
+campaigns can prove coverage ("≥ N faults spanning all categories").
+State faults are *heuristic-safe* by construction: they may make the
+encoder choose unusable references or lose eviction notices — which
+the recovery protocol must absorb — but they never destroy the only
+copy of dirty data (a silently evicted dirty line is flushed to
+backing store first, modelling a lost *notice*, not lost data).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.setassoc import LineId
+from repro.fault.plan import FaultPlan
+from repro.util.rng import make_rng
+
+
+class WireFaultInjector:
+    """Flips and truncates framed wire bits."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = make_rng(plan.seed, "wire")
+        self.stats = {"bitflips": 0, "flipped_frames": 0, "truncations": 0}
+
+    def corrupt(self, data: bytes, bit_count: int) -> Tuple[bytes, int]:
+        """Possibly damage one frame; returns the (new data, new bit
+        count) actually arriving at the receiver."""
+        rng = self._rng
+        plan = self.plan
+        if bit_count and rng.random() < plan.truncate_rate:
+            bit_count = rng.randrange(bit_count)
+            data = data[: (bit_count + 7) // 8]
+            self.stats["truncations"] += 1
+        if bit_count and rng.random() < plan.bitflip_rate:
+            flips = rng.randint(1, plan.max_flips)
+            damaged = bytearray(data)
+            for _ in range(flips):
+                bit = rng.randrange(bit_count)
+                damaged[bit >> 3] ^= 0x80 >> (bit & 7)
+            data = bytes(damaged)
+            self.stats["bitflips"] += flips
+            self.stats["flipped_frames"] += 1
+        return data, bit_count
+
+    @property
+    def faults_injected(self) -> int:
+        return self.stats["bitflips"] + self.stats["truncations"]
+
+
+class ChannelFaultInjector:
+    """Per-frame transport decisions: drop / reorder / delay."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = make_rng(plan.seed, "channel")
+        self.stats = {"drops": 0, "reorders": 0, "delays": 0}
+
+    def decide(self) -> Optional[str]:
+        """One of ``"drop"``/``"reorder"``/``"delay"`` or None.
+
+        Categories are tried in severity order; at most one fault per
+        frame keeps the semantics of each unambiguous.
+        """
+        rng = self._rng
+        plan = self.plan
+        if rng.random() < plan.drop_rate:
+            self.stats["drops"] += 1
+            return "drop"
+        if rng.random() < plan.reorder_rate:
+            self.stats["reorders"] += 1
+            return "reorder"
+        if rng.random() < plan.delay_rate:
+            self.stats["delays"] += 1
+            return "delay"
+        return None
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.stats.values())
+
+
+class StateFaultInjector:
+    """Sabotages the metadata of a live link pair.
+
+    Bound lazily to a :class:`~repro.core.encoder.CableLinkPair` so the
+    injector can be configured before the pair exists.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = make_rng(plan.seed, "state")
+        self._link = None
+        self.stats = {
+            "stale_wmt": 0,
+            "silent_evictions": 0,
+            "silent_evictions_buffered": 0,
+            "hash_corruptions": 0,
+        }
+
+    def bind(self, link) -> None:
+        self._link = link
+
+    # ------------------------------------------------------------------
+    # Per-transfer hook (called once per transfer; *inflight* carries
+    # the payload currently crossing the link, widening the §IV-A race)
+    # ------------------------------------------------------------------
+
+    def perturb(self, inflight=None, delayed: bool = False) -> int:
+        """Inject zero or more state faults; returns how many."""
+        if self._link is None or not self.plan.any_faults:
+            return 0
+        injected = 0
+        rng = self._rng
+        plan = self.plan
+        if rng.random() < plan.stale_wmt_rate:
+            injected += self._corrupt_wmt_entry()
+        # A delayed frame spends longer in flight, so the eviction race
+        # window doubles: roll the silent-eviction die twice.
+        rolls = 2 if delayed else 1
+        for _ in range(rolls):
+            if rng.random() < plan.silent_evict_rate:
+                injected += self._silent_eviction(inflight)
+        if rng.random() < plan.hash_corrupt_rate:
+            injected += self._corrupt_hash_tables()
+        return injected
+
+    # ------------------------------------------------------------------
+    # Individual sabotage moves
+    # ------------------------------------------------------------------
+
+    def _corrupt_wmt_entry(self) -> int:
+        """Point one valid WMT entry at the wrong home slot.
+
+        The encoder will eventually offer the entry as a reference; the
+        decoder's address check rejects it (tag mismatch → NACK → raw
+        fallback). Never silently wrong: referencability is *precise*
+        only while the WMT is intact, and the protocol no longer trusts
+        precision.
+        """
+        wmt = self._link.home_encoder.wmt
+        rng = self._rng
+        occupied = [
+            (index, way)
+            for index, row in enumerate(wmt._entries)
+            for way, entry in enumerate(row)
+            if entry is not None
+        ]
+        if not occupied:
+            return 0
+        index, way = occupied[rng.randrange(len(occupied))]
+        entry = wmt._entries[index][way]
+        if wmt.alias_bits:
+            twisted = entry._replace(alias=entry.alias ^ 1)
+        else:
+            twisted = entry._replace(
+                home_way=(entry.home_way + 1) % wmt.home.ways
+            )
+        wmt._entries[index][way] = twisted
+        self.stats["stale_wmt"] += 1
+        return 1
+
+    def _silent_eviction(self, inflight) -> int:
+        """Evict a SHARED remote line without telling the home cache.
+
+        Models a lost eviction notice: the home's WMT keeps advertising
+        the line as referencable. Half the time the remote's eviction
+        buffer still holds the line (hardware would have parked it —
+        the rescue path works); the other half the buffer entry is lost
+        too, forcing the NACK → retransmit-as-RAW path.
+
+        Only clean SHARED victims are chosen: those are exactly the
+        referencable lines (the §IV-A surface), and evicting them loses
+        pure *metadata* — a dirty/modified line's eviction is a
+        write-back transfer in its own right, not a notice.
+        """
+        link = self._link
+        remote = link.pair.remote
+        rng = self._rng
+
+        def evictable(line) -> bool:
+            return line.state.usable_as_reference and not line.dirty
+
+        victim_lid = None
+        # Prefer evicting a line the in-flight payload references —
+        # the exact §IV-A race.
+        if inflight is not None and inflight.remote_lids:
+            for lid in inflight.remote_lids:
+                line = remote.read_by_lineid(lid)
+                if line is not None and evictable(line):
+                    victim_lid = lid
+                    break
+        if victim_lid is None:
+            candidates = [lid for lid, line in remote if evictable(line)]
+            if not candidates:
+                return 0
+            victim_lid = candidates[rng.randrange(len(candidates))]
+        line = remote.read_by_lineid(victim_lid)
+        buffered = rng.random() < 0.5
+        if buffered:
+            link.remote_decoder.evict_buffer.record(
+                victim_lid, line.tag, line.data
+            )
+            self.stats["silent_evictions_buffered"] += 1
+        remote.evict_lineid(victim_lid)
+        self.stats["silent_evictions"] += 1
+        return 1
+
+    def _corrupt_hash_tables(self) -> int:
+        """Pour garbage LineIDs into both signature hash tables —
+        accuracy sabotage the search pipeline must shrug off."""
+        link = self._link
+        rng = self._rng
+        count = self.plan.hash_corrupt_entries
+        home_bits = link.pair.home.geometry.lineid_bits
+        remote_bits = link.pair.remote.geometry.lineid_bits
+        for _ in range(count):
+            link.home_encoder.hash_table.insert(
+                rng.getrandbits(32), LineId(rng.getrandbits(home_bits + 1))
+            )
+            link.remote_decoder.hash_table.insert(
+                rng.getrandbits(32), LineId(rng.getrandbits(remote_bits + 1))
+            )
+        self.stats["hash_corruptions"] += count
+        return count
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.stats["stale_wmt"]
+            + self.stats["silent_evictions"]
+            + self.stats["hash_corruptions"]
+        )

@@ -1,0 +1,134 @@
+"""Declarative fault & recovery configuration.
+
+Pure-stdlib leaf module so that :mod:`repro.core.config` can embed
+these in :class:`~repro.core.config.CableConfig` without layering
+cycles. Both dataclasses are frozen (hashable), so experiment sweeps
+can use them in memoization keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, per-category fault rates for one link.
+
+    All rates are probabilities per opportunity (per frame attempt for
+    wire/channel categories, per transfer for state categories). The
+    plan is purely declarative — :mod:`repro.fault.injectors` turns it
+    into deterministic RNG streams derived from ``seed``, so two runs
+    with the same plan inject byte-identical fault sequences.
+    """
+
+    seed: int = 0
+    # --- wire-level (per frame attempt) --------------------------------
+    #: Probability of flipping bits in a frame on the wire.
+    bitflip_rate: float = 0.0
+    #: Bits flipped per corrupted frame are uniform in [1, max_flips].
+    max_flips: int = 3
+    #: Probability a frame is cut short at a random bit position.
+    truncate_rate: float = 0.0
+    # --- channel-level (per frame attempt) -----------------------------
+    #: Frame vanishes entirely (sender times out and retransmits).
+    drop_rate: float = 0.0
+    #: A stale copy of the previous frame arrives first (reordering).
+    reorder_rate: float = 0.0
+    #: Frame is delayed in flight, widening the §IV-A race window.
+    delay_rate: float = 0.0
+    # --- state-level (per transfer) ------------------------------------
+    #: A WMT entry is corrupted (points at the wrong remote slot).
+    stale_wmt_rate: float = 0.0
+    #: A remote line is evicted with no notice to the home cache.
+    silent_evict_rate: float = 0.0
+    #: Garbage LineIDs are inserted into the signature hash tables.
+    hash_corrupt_rate: float = 0.0
+    #: Garbage entries inserted per hash-corruption event.
+    hash_corrupt_entries: int = 3
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name.endswith("_rate") and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{f.name} must be in [0, 1], got {value}")
+        if self.max_flips < 1:
+            raise ValueError("max_flips must be at least 1")
+        if self.hash_corrupt_entries < 1:
+            raise ValueError("hash_corrupt_entries must be at least 1")
+
+    @property
+    def rate_fields(self):
+        return tuple(f.name for f in fields(self) if f.name.endswith("_rate"))
+
+    @property
+    def any_faults(self) -> bool:
+        return any(getattr(self, name) > 0.0 for name in self.rate_fields)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
+        """Every category at the same *rate* (the resilience sweep's
+        x-axis); individual categories can still be overridden."""
+        values = {name: rate for name in
+                  ("bitflip_rate", "truncate_rate", "drop_rate",
+                   "reorder_rate", "delay_rate", "stale_wmt_rate",
+                   "silent_evict_rate", "hash_corrupt_rate")}
+        values.update(overrides)
+        return cls(seed=seed, **values)
+
+    def scaled(self, **overrides) -> "FaultPlan":
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Parameters of the link-recovery protocol layer.
+
+    Attaching a policy to :class:`~repro.core.config.CableConfig`
+    switches :class:`~repro.core.encoder.CableLinkPair` onto the real
+    wire path: payloads are flattened to bits, framed with a sequence
+    tag and CRC, and failures are NACKed/retransmitted instead of
+    trusted.
+    """
+
+    #: CRC width over each frame (8 or 16). Any single-bit wire flip is
+    #: guaranteed detected; wider CRCs shrink the multi-flip escape
+    #: probability (2^-crc_bits per corrupted frame).
+    crc_bits: int = 16
+    #: Frame sequence-tag width (reorder/replay detection).
+    seq_bits: int = 4
+    #: Retransmissions of the *compressed* form before falling back.
+    max_retries: int = 3
+    #: Retransmissions of the raw fallback before declaring the link
+    #: dead (:class:`repro.core.errors.LinkRecoveryError`).
+    max_raw_retries: int = 8
+    # --- degradation circuit breaker -----------------------------------
+    #: Failure-rate threshold over the sliding window that trips the
+    #: breaker into raw (uncompressed) transmission.
+    breaker_threshold: float = 0.5
+    #: Transfers in the sliding failure window.
+    breaker_window: int = 32
+    #: Minimum observations before the breaker may trip.
+    breaker_min_samples: int = 16
+    #: Transfers sent raw before the breaker re-arms.
+    breaker_cooldown: int = 64
+    #: Run the §III-F state auditor in repair mode when the breaker
+    #: trips (re-synchronizing WMT/hash state like a real link retrain).
+    resync_on_trip: bool = True
+
+    def __post_init__(self) -> None:
+        if self.crc_bits not in (8, 16):
+            raise ValueError("crc_bits must be 8 or 16")
+        if not 1 <= self.seq_bits <= 8:
+            raise ValueError("seq_bits must be in [1, 8]")
+        if self.max_retries < 0 or self.max_raw_retries < 1:
+            raise ValueError("retry budgets must be non-negative/positive")
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ValueError("breaker_threshold must be in (0, 1]")
+        if self.breaker_window < 1 or self.breaker_cooldown < 1:
+            raise ValueError("breaker window/cooldown must be positive")
+        if self.breaker_min_samples < 1:
+            raise ValueError("breaker_min_samples must be positive")
+
+    def scaled(self, **overrides) -> "RecoveryPolicy":
+        return replace(self, **overrides)

@@ -66,12 +66,33 @@ class LinkStats:
     payload_bits: int = 0
     raw_bits: int = 0
     flits: int = 0
+    #: Recovery-protocol bits beyond the payload itself: framing
+    #: (sequence tag + CRC) and every retransmitted frame. Crosses the
+    #: wire as its own flits (retransmissions are separate frames).
+    overhead_bits: int = 0
 
-    def record(self, raw_bits: int, payload_bits: int) -> None:
+    def record(
+        self, raw_bits: int, payload_bits: int, overhead_bits: int = 0
+    ) -> None:
         self.transfers += 1
         self.raw_bits += raw_bits
         self.payload_bits += payload_bits
         self.flits += self.link.flits_for(payload_bits)
+        if overhead_bits:
+            self.record_overhead(overhead_bits)
+
+    def record_overhead(self, overhead_bits: int) -> None:
+        """Account recovery overhead (frame headers, retransmissions)."""
+        self.overhead_bits += overhead_bits
+        self.flits += self.link.flits_for(overhead_bits)
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Fraction of transmitted bits that were payload."""
+        total = self.payload_bits + self.overhead_bits
+        if total == 0:
+            return 1.0
+        return self.payload_bits / total
 
     @property
     def wire_bits(self) -> int:

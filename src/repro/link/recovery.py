@@ -1,0 +1,407 @@
+"""Link-recovery protocol: CRC frames, NACK/retransmit, raw fallback
+and a degradation circuit breaker.
+
+This layer turns the trust-everything synchronous pipe of
+:class:`~repro.core.encoder.CableLinkPair` into a protocol that
+survives a lossy wire and sabotaged metadata:
+
+1. every payload crosses the link as real bits inside a CRC-guarded,
+   sequence-tagged frame (:func:`repro.link.wire.encode_frame`);
+2. any :class:`~repro.core.errors.WireDecodeError` at the receiver is
+   a **NACK** — the sender retransmits the same frame, up to
+   ``max_retries`` times;
+3. a :class:`~repro.core.errors.StaleReferenceError` (the §IV-A
+   in-flight-eviction race, or a stale WMT translation) switches the
+   sender to **retransmit-as-RAW**: the line goes again uncompressed,
+   with no references to go stale. This closes the race *inside the
+   protocol* — no cooperation from tests or callers needed;
+4. a per-link **circuit breaker** watches the recoverable-failure rate
+   over a sliding window; past the threshold it trips, degrading the
+   link to uncompressed transmission (which cannot suffer decode
+   failures) for a cooldown, optionally resynchronizing WMT/hash state
+   through the §III-F auditor, then re-arms.
+
+Exhausting the raw budget raises
+:class:`~repro.core.errors.LinkRecoveryError` — the one *unrecoverable*
+outcome, and it is loud. Nothing in this layer can deliver wrong bytes
+silently short of a CRC collision, whose probability per corrupted
+frame is 2^-crc_bits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import (
+    CrcMismatchError,
+    LinkRecoveryError,
+    StaleReferenceError,
+    WireDecodeError,
+)
+from repro.core.payload import Payload, PayloadKind
+from repro.fault.injectors import (
+    ChannelFaultInjector,
+    StateFaultInjector,
+    WireFaultInjector,
+)
+from repro.fault.plan import FaultPlan, RecoveryPolicy
+from repro.link.wire import (
+    DecodedPayload,
+    WireFormat,
+    decode_frame,
+    encode_frame,
+)
+
+
+class LinkHealth:
+    """Per-link health counters, flowing into metrics/experiments."""
+
+    FIELDS = (
+        "transfers",
+        "deliveries",
+        "crc_failures",
+        "decode_errors",
+        "seq_rejects",
+        "nacks",
+        "retries",
+        "raw_fallbacks",
+        "breaker_trips",
+        "breaker_recoveries",
+        "breaker_raw_transfers",
+        "resyncs",
+        "resync_repairs",
+        "link_failures",
+        "overhead_bits",
+        "silent_corruptions",
+    )
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {field: 0 for field in self.FIELDS}
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        self.counts[field] += amount
+
+    def __getitem__(self, field: str) -> int:
+        return self.counts[field]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with cooldown re-arm.
+
+    ``closed`` → compressed transmission, outcomes recorded; when the
+    failure rate over the last ``breaker_window`` transfers reaches
+    ``breaker_threshold`` (with at least ``breaker_min_samples``
+    observations) the breaker **trips** ``open``: the link degrades to
+    uncompressed payloads for ``breaker_cooldown`` transfers, then
+    re-arms with a cleared window.
+    """
+
+    def __init__(self, policy: RecoveryPolicy) -> None:
+        self.policy = policy
+        self._window: deque = deque(maxlen=policy.breaker_window)
+        self._cooldown_left = 0
+        self.is_open = False
+        self.trips = 0
+        self.recoveries = 0
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def record(self, ok: bool) -> bool:
+        """Record one closed-state transfer outcome; True if it tripped."""
+        self._window.append(ok)
+        if (
+            len(self._window) >= self.policy.breaker_min_samples
+            and self.failure_rate >= self.policy.breaker_threshold
+        ):
+            self.is_open = True
+            self._cooldown_left = self.policy.breaker_cooldown
+            self._window.clear()
+            self.trips += 1
+            return True
+        return False
+
+    def tick_open(self) -> bool:
+        """Count one open-state (raw) transfer; True if it re-armed."""
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self.is_open = False
+            self.recoveries += 1
+            return True
+        return False
+
+
+@dataclass
+class Delivery:
+    """Outcome of one reliable transfer."""
+
+    data: bytes
+    #: The payload form that finally got through (raw after fallback).
+    payload: Payload
+    #: Frames put on the wire (1 = clean first try).
+    attempts: int
+    #: Wire bits beyond the first frame's payload bits: framing
+    #: (seq+crc) plus every retransmitted frame in full.
+    overhead_bits: int
+    #: True when any NACK/drop occurred (feeds the circuit breaker).
+    degraded: bool
+
+
+class ReliableLink:
+    """Frame/transmit/decode with NACK-retransmit and raw fallback."""
+
+    def __init__(
+        self,
+        policy: RecoveryPolicy,
+        fmt: WireFormat,
+        engine_name: str,
+        health: LinkHealth,
+        wire_faults: Optional[WireFaultInjector] = None,
+        channel_faults: Optional[ChannelFaultInjector] = None,
+        state_faults: Optional[StateFaultInjector] = None,
+    ) -> None:
+        self.policy = policy
+        self.fmt = fmt
+        self.engine_name = engine_name
+        self.health = health
+        self.wire_faults = wire_faults
+        self.channel_faults = channel_faults
+        self.state_faults = state_faults
+        self._seq: Dict[str, int] = {}
+        self._last_frame: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+
+    def _rebuild(self, decoded: DecodedPayload, sent: Payload) -> Payload:
+        """Lift wire-decoded bits back into a decodable Payload.
+
+        ``ref_addrs`` is model metadata (hardware gets the equivalent
+        guarantee from the EvictSeq protocol, see
+        :class:`~repro.core.payload.Payload`), so it is carried from
+        the sender's payload rather than the wire — but only when the
+        wire agrees about which references are in play.
+        """
+        if decoded.kind is PayloadKind.UNCOMPRESSED:
+            return Payload(
+                kind=PayloadKind.UNCOMPRESSED,
+                line_addr=sent.line_addr,
+                line_bytes=self.fmt.line_bytes,
+                raw=decoded.raw,
+                remotelid_bits=self.fmt.remotelid_bits,
+            )
+        ref_addrs = (
+            sent.ref_addrs
+            if decoded.remote_lids == sent.remote_lids
+            else ()
+        )
+        return Payload(
+            kind=decoded.kind,
+            line_addr=sent.line_addr,
+            line_bytes=self.fmt.line_bytes,
+            remote_lids=decoded.remote_lids,
+            block=decoded.block,
+            remotelid_bits=self.fmt.remotelid_bits,
+            ref_addrs=ref_addrs,
+        )
+
+    def deliver(
+        self,
+        direction: str,
+        payload: Payload,
+        decode_fn: Callable[[Payload], bytes],
+        make_raw: Callable[[], Payload],
+    ) -> Delivery:
+        """Transmit *payload* until it decodes, falling back to raw.
+
+        *decode_fn* reconstructs the line at the receiving endpoint;
+        *make_raw* builds the uncompressed fallback payload from the
+        sender's copy of the line.
+        """
+        policy = self.policy
+        health = self.health
+        self.health.bump("transfers")
+        current = payload
+        raw_mode = current.kind is PayloadKind.UNCOMPRESSED
+        budget = policy.max_raw_retries if raw_mode else policy.max_retries
+        attempts = 0
+        overhead_bits = 0
+        degraded = False
+
+        def consume_budget() -> None:
+            nonlocal budget, raw_mode, current
+            budget -= 1
+            if budget >= 0:
+                return
+            if raw_mode:
+                health.bump("link_failures")
+                raise LinkRecoveryError(
+                    f"{direction} of line {payload.line_addr:#x} undeliverable: "
+                    f"retries and raw fallback exhausted"
+                )
+            self._fall_back_to_raw(make_raw)
+            raw_mode = True
+            current = self._raw_payload
+            budget = policy.max_raw_retries
+
+        while True:
+            seq = self._seq.get(direction, 0)
+            writer = encode_frame(
+                current,
+                self.fmt,
+                self.engine_name,
+                seq=seq,
+                crc_bits=policy.crc_bits,
+                seq_bits=policy.seq_bits,
+            )
+            frame, frame_bits = writer.getvalue(), writer.bit_count
+            attempts += 1
+            if attempts == 1:
+                overhead_bits += policy.seq_bits + policy.crc_bits
+            else:
+                health.bump("retries")
+                overhead_bits += frame_bits
+
+            fate = (
+                self.channel_faults.decide() if self.channel_faults else None
+            )
+            delayed = fate == "delay"
+            if self.state_faults is not None:
+                # Mid-flight metadata faults: the §IV-A window is open
+                # while this frame is on the wire (wider when delayed).
+                self.state_faults.perturb(inflight=current, delayed=delayed)
+            if fate == "drop":
+                # The frame vanishes; the sender's timeout retransmits.
+                degraded = True
+                consume_budget()
+                continue
+            if fate == "reorder" and direction in self._last_frame:
+                # A stale copy of the previous frame overtakes this
+                # one; the receiver rejects it by sequence tag.
+                stale_data, stale_bits = self._last_frame[direction]
+                try:
+                    decode_frame(
+                        stale_data,
+                        stale_bits,
+                        self.engine_name,
+                        self.fmt,
+                        crc_bits=policy.crc_bits,
+                        seq_bits=policy.seq_bits,
+                        expected_seq=seq,
+                    )
+                except WireDecodeError:
+                    health.bump("seq_rejects")
+
+            rx_data, rx_bits = frame, frame_bits
+            if self.wire_faults is not None:
+                rx_data, rx_bits = self.wire_faults.corrupt(frame, frame_bits)
+            try:
+                __, decoded = decode_frame(
+                    rx_data,
+                    rx_bits,
+                    self.engine_name,
+                    self.fmt,
+                    crc_bits=policy.crc_bits,
+                    seq_bits=policy.seq_bits,
+                    expected_seq=seq,
+                )
+                data = decode_fn(self._rebuild(decoded, current))
+            except WireDecodeError as exc:
+                degraded = True
+                health.bump("nacks")
+                health.bump(
+                    "crc_failures"
+                    if isinstance(exc, CrcMismatchError)
+                    else "decode_errors"
+                )
+                consume_budget()
+                continue
+            except StaleReferenceError:
+                # §IV-A: a reference is gone (eviction buffer included)
+                # or a WMT translation went stale. NACK, then resend
+                # the line raw — the fallback cannot go stale.
+                degraded = True
+                health.bump("nacks")
+                health.bump("decode_errors")
+                if not raw_mode:
+                    self._fall_back_to_raw(make_raw)
+                    raw_mode = True
+                    current = self._raw_payload
+                    budget = policy.max_raw_retries
+                else:
+                    consume_budget()
+                continue
+
+            self._last_frame[direction] = (frame, frame_bits)
+            self._seq[direction] = (seq + 1) % (1 << policy.seq_bits)
+            health.bump("deliveries")
+            health.bump("overhead_bits", overhead_bits)
+            return Delivery(
+                data=data,
+                payload=current,
+                attempts=attempts,
+                overhead_bits=overhead_bits,
+                degraded=degraded,
+            )
+
+    def _fall_back_to_raw(self, make_raw: Callable[[], Payload]) -> None:
+        self.health.bump("raw_fallbacks")
+        self._raw_payload = make_raw()
+
+
+class RecoveryLayer:
+    """Everything one CableLinkPair needs for lossy-link operation."""
+
+    def __init__(
+        self,
+        policy: RecoveryPolicy,
+        fmt: WireFormat,
+        engine_name: str,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.policy = policy
+        self.health = LinkHealth()
+        self.breaker = CircuitBreaker(policy)
+        wire_inj = channel_inj = None
+        self.state_faults: Optional[StateFaultInjector] = None
+        if faults is not None and faults.any_faults:
+            wire_inj = WireFaultInjector(faults)
+            channel_inj = ChannelFaultInjector(faults)
+            self.state_faults = StateFaultInjector(faults)
+        self.wire_faults = wire_inj
+        self.channel_faults = channel_inj
+        self.link = ReliableLink(
+            policy,
+            fmt,
+            engine_name,
+            self.health,
+            wire_faults=wire_inj,
+            channel_faults=channel_inj,
+            state_faults=self.state_faults,
+        )
+
+    def bind(self, pair) -> None:
+        if self.state_faults is not None:
+            self.state_faults.bind(pair)
+
+    @property
+    def faults_injected(self) -> int:
+        total = 0
+        for injector in (self.wire_faults, self.channel_faults, self.state_faults):
+            if injector is not None:
+                total += injector.faults_injected
+        return total
+
+    def fault_stats(self) -> Dict[str, int]:
+        stats: Dict[str, int] = {}
+        for injector in (self.wire_faults, self.channel_faults, self.state_faults):
+            if injector is not None:
+                stats.update(injector.stats)
+        return stats

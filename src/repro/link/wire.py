@@ -16,15 +16,34 @@ Layout (§III-E): ``flag(1)`` — 0 = raw line follows; 1 = compressed:
 ``refcount(2)``, ``refcount × RemoteLID``, then the engine-specific
 DIFF. The ORACLE engine is a hybrid (exact DP or LBE, whichever is
 smaller), so its DIFF starts with one discriminator bit.
+
+Decode paths raise the typed hierarchy of :mod:`repro.core.errors`
+instead of bare ``ValueError``: a truncated stream is
+:class:`~repro.core.errors.TruncatedPayloadError`, impossible tokens
+are :class:`~repro.core.errors.CorruptPayloadError` — both subclasses
+of :class:`~repro.core.errors.WireDecodeError`, so the recovery layer
+can NACK wire corruption while genuine programming bugs still surface
+as ordinary exceptions.
+
+For lossy links, :func:`encode_frame`/:func:`decode_frame` wrap the
+payload in a link-layer frame — ``seq(4) | payload | crc(8|16)`` —
+whose CRC detects every single-bit flip and whose sequence tag rejects
+reordered/replayed frames (see :mod:`repro.link.recovery`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cache.setassoc import LineId
 from repro.compression.base import CompressedBlock
+from repro.core.errors import (
+    CorruptPayloadError,
+    CrcMismatchError,
+    SequenceError,
+    TruncatedPayloadError,
+)
 from repro.core.payload import FLAG_BITS, Payload, PayloadKind, REFCOUNT_BITS
 from repro.util.bits import BitReader, BitWriter, bits_for
 from repro.util.words import WORD_BYTES
@@ -126,6 +145,10 @@ def _lbe_decode(reader: BitReader, off_bits: int, words_per_line: int):
             count = reader.read(4) + 1
             tokens.append(("byte", tuple(reader.read(8) for _ in range(count))))
             produced += count
+    if produced != words_per_line:
+        raise CorruptPayloadError(
+            f"LBE stream produced {produced} words for a {words_per_line}-word line"
+        )
     return tokens
 
 
@@ -175,8 +198,8 @@ def _cpack_decode(reader: BitReader, idx_bits: int, words_per_line: int):
                 tokens.append(("zzzx", reader.read(8)))
             elif sub == 0b10:
                 tokens.append(("mmmx", reader.read(idx_bits), reader.read(8)))
-            else:  # pragma: no cover - defensive
-                raise ValueError("invalid CPACK code 1111")
+            else:
+                raise CorruptPayloadError("invalid CPACK code 1111")
     return tokens
 
 
@@ -240,7 +263,10 @@ def _bdi_encode(tokens, writer: BitWriter, line_bytes: int) -> None:
 
 
 def _bdi_decode(reader: BitReader, line_bytes: int):
-    layout = _BDI_LAYOUTS[reader.read(4)]
+    selector = reader.read(4)
+    if selector >= len(_BDI_LAYOUTS):
+        raise CorruptPayloadError(f"invalid BDI layout selector {selector}")
+    layout = _BDI_LAYOUTS[selector]
     if layout == "raw":
         return ("raw", reader.read_bytes(line_bytes))
     if layout == "zeros":
@@ -285,6 +311,10 @@ def _lzss_decode(reader: BitReader, line_bytes: int):
             length = reader.read(8) + 3
             tokens.append(("match", offset, length))
             produced += length
+    if produced != line_bytes:
+        raise CorruptPayloadError(
+            f"LZSS stream produced {produced} bytes for a {line_bytes}-byte line"
+        )
     return tokens
 
 
@@ -320,6 +350,10 @@ def _oracle_dp_decode(reader: BitReader, off_bits: int, line_bytes: int):
             length = reader.read(6) + 1
             tokens.append(("copy", offset, length))
             produced += length
+    if produced != line_bytes:
+        raise CorruptPayloadError(
+            f"ORACLE stream produced {produced} bytes for a {line_bytes}-byte line"
+        )
     return tokens
 
 
@@ -383,14 +417,45 @@ class DecodedPayload:
     raw: bytes = b""
 
 
+_KNOWN_ENGINES = ("lbe", "cpack", "zero", "bdi", "gzip", "oracle")
+
+
 def decode_payload(
     data: bytes,
     bit_count: int,
     engine_name: str,
     fmt: WireFormat = WireFormat(),
 ) -> DecodedPayload:
-    """Parse wire bits back into a decompressible payload."""
-    reader = BitReader(data, bit_count)
+    """Parse wire bits back into a decompressible payload.
+
+    Malformed input raises the typed hierarchy of
+    :mod:`repro.core.errors` (:class:`TruncatedPayloadError` /
+    :class:`CorruptPayloadError`), never a bare ``ValueError`` — an
+    unknown *engine_name* is the one exception, since that is a caller
+    bug rather than wire corruption.
+    """
+    if not engine_name.startswith(_KNOWN_ENGINES):
+        raise ValueError(f"no wire codec for engine {engine_name!r}")
+    try:
+        reader = BitReader(data, bit_count)
+    except ValueError as exc:
+        raise TruncatedPayloadError(str(exc)) from exc
+    try:
+        return _parse_payload(reader, bit_count, engine_name, fmt)
+    except EOFError as exc:
+        raise TruncatedPayloadError(f"payload truncated: {exc}") from exc
+    except CorruptPayloadError:
+        raise
+    except (ValueError, IndexError, KeyError, OverflowError) as exc:
+        raise CorruptPayloadError(f"payload bits unparseable: {exc}") from exc
+
+
+def _parse_payload(
+    reader: BitReader,
+    bit_count: int,
+    engine_name: str,
+    fmt: WireFormat,
+) -> DecodedPayload:
     if reader.read(FLAG_BITS) == 0:
         raw = reader.read_bytes(fmt.line_bytes)
         return DecodedPayload(
@@ -435,3 +500,160 @@ def decode_payload(
         algorithm, bit_count, fmt.line_bytes, tuple(tokens)
     )
     return DecodedPayload(kind=kind, remote_lids=lids, block=block)
+
+
+# ======================================================================
+# Link-layer framing: seq | payload | crc  (lossy-wire protection)
+# ======================================================================
+
+#: Frame sequence-tag width (reorder/replay detection window of 16).
+FRAME_SEQ_BITS = 4
+
+_CRC_PARAMS = {8: (0x07, 0xFF), 16: (0x1021, 0xFFFF)}  # width: (poly, init)
+_CRC_TABLES: dict = {}
+
+
+def _crc_table(width: int):
+    table = _CRC_TABLES.get(width)
+    if table is None:
+        poly, __ = _CRC_PARAMS[width]
+        top = 1 << (width - 1)
+        mask = (1 << width) - 1
+        table = []
+        for byte in range(256):
+            crc = byte << (width - 8)
+            for _ in range(8):
+                crc = ((crc << 1) ^ poly) if crc & top else (crc << 1)
+            table.append(crc & mask)
+        _CRC_TABLES[width] = table = tuple(table)
+    return table
+
+
+def _bit_prefix(data: bytes, bits: int) -> bytes:
+    """The first *bits* bits of *data*, zero-padded to a byte — the
+    exact bytes :meth:`BitWriter.getvalue` produces for that prefix."""
+    nbytes = (bits + 7) // 8
+    chunk = bytearray(data[:nbytes])
+    pad = nbytes * 8 - bits
+    if pad and nbytes:
+        chunk[-1] &= (0xFF << pad) & 0xFF
+    return bytes(chunk)
+
+
+def frame_crc(data: bytes, bits: int, width: int = 16) -> int:
+    """CRC over the first *bits* bits of *data* plus the bit length.
+
+    Folding the length in means a frame truncated on a byte boundary
+    (where zero padding alone could alias) still fails its check. The
+    generator polynomials (CRC-8 0x07, CRC-16-CCITT 0x1021) detect
+    every single-bit and every double-bit error at these frame sizes.
+    """
+    if width not in _CRC_PARAMS:
+        raise ValueError(f"unsupported CRC width {width}")
+    table = _crc_table(width)
+    __, init = _CRC_PARAMS[width]
+    mask = (1 << width) - 1
+    shift = width - 8
+    crc = init
+    for byte in _bit_prefix(data, bits) + bits.to_bytes(4, "big"):
+        crc = ((crc << 8) ^ table[((crc >> shift) ^ byte) & 0xFF]) & mask
+    return crc
+
+
+def encode_frame(
+    payload: Payload,
+    fmt: WireFormat = WireFormat(),
+    engine_name: str = "lbe",
+    seq: int = 0,
+    crc_bits: int = 16,
+    seq_bits: int = FRAME_SEQ_BITS,
+) -> BitWriter:
+    """Wrap a payload in a link-layer frame: ``seq | payload | crc``.
+
+    Handles the ORACLE hybrid's LBE arm transparently (the payload
+    records which arm won via its block's algorithm).
+    """
+    if (
+        engine_name.startswith("oracle")
+        and payload.kind is not PayloadKind.UNCOMPRESSED
+        and payload.block.algorithm.startswith("lbe")
+    ):
+        body = encode_oracle_hybrid_lbe(payload, fmt)
+    else:
+        body = encode_payload(payload, fmt)
+    writer = BitWriter()
+    writer.write(seq & ((1 << seq_bits) - 1), seq_bits)
+    writer.extend(body)
+    crc = frame_crc(writer.getvalue(), writer.bit_count, crc_bits)
+    writer.write(crc, crc_bits)
+    return writer
+
+
+def decode_frame(
+    data: bytes,
+    bit_count: int,
+    engine_name: str,
+    fmt: WireFormat = WireFormat(),
+    crc_bits: int = 16,
+    seq_bits: int = FRAME_SEQ_BITS,
+    expected_seq: Optional[int] = None,
+) -> Tuple[int, DecodedPayload]:
+    """Verify and parse one frame; returns ``(seq, decoded)``.
+
+    Raises :class:`~repro.core.errors.CrcMismatchError` on checksum
+    failure (checked *before* any token parsing — corrupted bits never
+    reach the codecs), :class:`~repro.core.errors.SequenceError` when
+    *expected_seq* is given and the tag disagrees, and
+    :class:`~repro.core.errors.TruncatedPayloadError` when the frame is
+    too short to hold even an empty payload.
+    """
+    min_bits = seq_bits + crc_bits + FLAG_BITS
+    if bit_count < min_bits or bit_count > len(data) * 8:
+        raise TruncatedPayloadError(
+            f"frame of {bit_count} bits cannot hold seq+payload+crc"
+        )
+    prefix_bits = bit_count - crc_bits
+    stored = BitReader(data, bit_count)
+    stored.seek(prefix_bits)  # jump to the trailing CRC field
+    received_crc = stored.read(crc_bits)
+    computed = frame_crc(data, prefix_bits, crc_bits)
+    if received_crc != computed:
+        raise CrcMismatchError(
+            f"frame CRC {received_crc:#x} != computed {computed:#x}"
+        )
+    reader = BitReader(data, prefix_bits)
+    seq = reader.read(seq_bits)
+    if expected_seq is not None and seq != expected_seq:
+        raise SequenceError(
+            f"frame seq {seq} arrived while expecting {expected_seq}"
+        )
+    if not engine_name.startswith(_KNOWN_ENGINES):
+        raise ValueError(f"no wire codec for engine {engine_name!r}")
+    try:
+        decoded = _parse_payload(
+            reader, prefix_bits - seq_bits, engine_name, fmt
+        )
+    except EOFError as exc:
+        raise TruncatedPayloadError(f"payload truncated: {exc}") from exc
+    except CorruptPayloadError:
+        raise
+    except (ValueError, IndexError, KeyError, OverflowError) as exc:
+        raise CorruptPayloadError(f"payload bits unparseable: {exc}") from exc
+    return seq, decoded
+
+
+def wire_format_for(config, engine=None) -> WireFormat:
+    """Build the negotiated :class:`WireFormat` for a CABLE config.
+
+    The CPACK dictionary size is engine configuration, so it must ride
+    the negotiation: it is read off the live *engine* when provided
+    (e.g. ``cpack128`` runs 32 entries), else defaulted.
+    """
+    cpack_entries = getattr(engine, "entries", None)
+    if cpack_entries is None:
+        cpack_entries = 32 if "128" in config.engine else 16
+    return WireFormat(
+        line_bytes=config.line_bytes,
+        remotelid_bits=config.remotelid_bits,
+        cpack_entries=cpack_entries,
+    )

@@ -29,6 +29,7 @@ from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
 from repro.compression.registry import make_engine
 from repro.core.config import CableConfig
 from repro.core.encoder import CableLinkPair, DecompressionError
+from repro.fault.plan import FaultPlan, RecoveryPolicy
 from repro.link.channel import LinkModel
 from repro.link.toggles import ToggleCounter
 from repro.core.payload import Payload, PayloadKind
@@ -86,6 +87,11 @@ class MemLinkConfig:
     #: runs keep the paper's 32KB window.
     scale_gzip_window: bool = True
     llc_reference_bytes: int = 1 * _MB
+    #: Fault injection / link recovery (cable scheme only): when set,
+    #: these override the corresponding fields of ``cable`` so sweeps
+    #: can vary fault rates without rebuilding the whole CableConfig.
+    faults: Optional[FaultPlan] = None
+    recovery: Optional[RecoveryPolicy] = None
 
     def scaled(self, **kwargs) -> "MemLinkConfig":
         return replace(self, **kwargs)
@@ -116,6 +122,13 @@ class MemLinkResult:
     reference_count: int = 0
     toggles_raw: int = 0
     toggles_compressed: int = 0
+    #: Recovery-protocol bits (framing + retransmissions); nonzero only
+    #: when the cable scheme runs with a recovery layer.
+    overhead_bits: int = 0
+    #: Link health + fault-injection counters (see
+    #: :class:`repro.link.recovery.LinkHealth`); covers the whole run
+    #: including warmup — recovery behaviour has no warmup phase.
+    health: Dict[str, int] = field(default_factory=dict)
     per_transfer_bits: List[int] = field(default_factory=list)
     link: LinkModel = field(default_factory=LinkModel)
 
@@ -226,7 +239,15 @@ class MemLinkSimulation:
         self._wb_codec: Optional[_StreamCodec] = None
         scheme = config.scheme
         if scheme == "cable":
-            self.cable = CableLinkPair(config.cable, self.pair, verify=config.verify)
+            cable_cfg = config.cable
+            overrides = {}
+            if config.faults is not None:
+                overrides["faults"] = config.faults
+            if config.recovery is not None:
+                overrides["recovery"] = config.recovery
+            if overrides:
+                cable_cfg = cable_cfg.with_overrides(**overrides)
+            self.cable = CableLinkPair(cable_cfg, self.pair, verify=config.verify)
             self.cable.keep_transfers = False
             self.pair.add_observer(self._observe_cable)
         elif scheme == "raw":
@@ -247,7 +268,9 @@ class MemLinkSimulation:
     # Observers (one per scheme family)
     # ------------------------------------------------------------------
 
-    def _record(self, payload_bits: int, data: bytes, payload=None) -> None:
+    def _record(
+        self, payload_bits: int, data: bytes, payload=None, overhead_bits: int = 0
+    ) -> None:
         if not self._counting:
             return
         result = self.result
@@ -257,6 +280,11 @@ class MemLinkSimulation:
         result.flits += self.config.link.flits_for(payload_bits)
         result.raw_flits += self._raw_flits_per_line
         result.per_transfer_bits.append(payload_bits)
+        if overhead_bits:
+            # Retransmissions and frame headers cross the wire as their
+            # own flits; they cost bandwidth the effective ratio sees.
+            result.overhead_bits += overhead_bits
+            result.flits += self.config.link.flits_for(overhead_bits)
         if self._toggle_raw is not None:
             self._toggle_raw.record_raw(data)
             if payload is not None:
@@ -303,9 +331,14 @@ class MemLinkSimulation:
         if event.kind not in ("fill", "writeback"):
             return
         # CableLinkPair (registered first) has already produced the
-        # payload; pull it from its accounting.
+        # payload; pull it from its accounting. Recovery overhead is
+        # read as a delta of the cable's running total so retransmitted
+        # frames land on the transfer that caused them.
+        overhead_total = self.cable.totals["overhead_bits"]
+        overhead = overhead_total - self._last_overhead_total
+        self._last_overhead_total = overhead_total
         payload_bits = self._last_cable_bits
-        self._record(payload_bits, event.data, self._last_cable_payload)
+        self._record(payload_bits, event.data, self._last_cable_payload, overhead)
 
     # ------------------------------------------------------------------
     # Driving
@@ -313,6 +346,7 @@ class MemLinkSimulation:
 
     _last_cable_bits: int = 0
     _last_cable_payload = None
+    _last_overhead_total: int = 0
 
     def run(self) -> MemLinkResult:
         config = self.config
@@ -382,6 +416,8 @@ class MemLinkSimulation:
             result.reference_count = (
                 self.cable.home_encoder.stats["reference_count"] - self._refn0
             )
+            if self.cable.recovery_layer is not None:
+                result.health = self.cable.health
         else:
             result.encodes = result.transfers
             result.decodes = result.transfers

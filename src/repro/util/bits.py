@@ -43,6 +43,11 @@ class BitWriter:
         for byte in data:
             self.write(byte, 8)
 
+    def extend(self, other: "BitWriter") -> None:
+        """Append every bit another writer holds (frame composition)."""
+        self._chunks.extend(other._chunks)
+        self._bit_count += other._bit_count
+
     @property
     def bit_count(self) -> int:
         return self._bit_count
@@ -87,6 +92,12 @@ class BitReader:
 
     def read_bytes(self, count: int) -> bytes:
         return bytes(self.read(8) for _ in range(count))
+
+    def seek(self, bit_position: int) -> None:
+        """Jump to an absolute bit position (frame field access)."""
+        if not 0 <= bit_position <= self._limit:
+            raise ValueError("seek position outside the bit stream")
+        self._pos = bit_position
 
     @property
     def bits_remaining(self) -> int:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cache.setassoc import LineId
+from repro.core.errors import EvictionBufferOverflowError
 from repro.core.evictbuf import EvictionBuffer
 
 
@@ -67,3 +68,46 @@ class TestCapacity:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             EvictionBuffer(capacity=0)
+
+
+class TestOverflowPolicy:
+    def test_drop_oldest_is_bounded_and_counted(self):
+        buf = EvictionBuffer(capacity=3, overflow_policy="drop-oldest")
+        for i in range(10):
+            buf.record(LineId(i), i, bytes([i]) * 64)
+        assert len(buf) == 3
+        assert buf.stats["overflows"] == 7
+        # Sequence numbering is unaffected by the drops.
+        assert buf.last_seq == 10
+
+    def test_strict_raises_before_dropping(self):
+        buf = EvictionBuffer(capacity=2, overflow_policy="strict")
+        buf.record(LineId(0), 0, b"\x00" * 64)
+        buf.record(LineId(1), 1, b"\x01" * 64)
+        with pytest.raises(EvictionBufferOverflowError):
+            buf.record(LineId(2), 2, b"\x02" * 64)
+        # The failed record must not have consumed a sequence number or
+        # evicted a parked line.
+        assert len(buf) == 2
+        assert buf.last_seq == 2
+        assert buf.rescue(LineId(0), 0) is not None
+
+    def test_strict_recovers_after_acknowledge(self):
+        buf = EvictionBuffer(capacity=2, overflow_policy="strict")
+        buf.record(LineId(0), 0, b"\x00" * 64)
+        buf.record(LineId(1), 1, b"\x01" * 64)
+        buf.acknowledge(1)
+        assert buf.record(LineId(2), 2, b"\x02" * 64) == 3
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            EvictionBuffer(overflow_policy="wishful")
+
+    def test_high_water_tracks_peak_occupancy(self):
+        buf = EvictionBuffer(capacity=8)
+        for i in range(5):
+            buf.record(LineId(i), i, bytes([i]) * 64)
+        buf.acknowledge(5)
+        buf.record(LineId(9), 9, b"\x09" * 64)
+        assert len(buf) == 1
+        assert buf.stats["high_water"] == 5

@@ -1,0 +1,173 @@
+"""Property fuzz of the wire codecs: damage never goes unnoticed.
+
+Two layers, two contracts:
+
+- **frames** (``encode_frame``/``decode_frame``): any single-bit flip
+  and any truncation raises a typed :class:`WireDecodeError` — the CRC
+  (with the bit length folded in) guarantees it. Clean frames decode
+  back to the exact line.
+- **bare payloads** (``decode_payload``): no CRC, so corrupted bits
+  may parse — but the decoder must either raise a *typed* error or
+  return a well-formed :class:`DecodedPayload`; it must never escape
+  with an untyped ``ValueError``/``IndexError``/``struct.error``.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import LineId
+from repro.compression.registry import make_engine
+from repro.core.errors import DecompressionError, WireDecodeError
+from repro.core.payload import Payload, PayloadKind
+from repro.link.wire import (
+    WireFormat,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+)
+from repro.util.words import words_to_bytes
+
+FMT = WireFormat()
+
+ENGINES = ("lbe", "cpack", "zero", "bdi", "gzip", "oracle")
+#: Engines whose wire format carries reference pointers.
+REF_ENGINES = ("lbe", "cpack", "gzip", "oracle")
+
+#: Cache-line words biased toward compressible shapes (zeros, small
+#: values) so the codecs emit real token mixes, not wall-to-wall
+#: literals.
+word = st.one_of(
+    st.just(0),
+    st.integers(0, 0xFF),
+    st.integers(0, 0xFFFFFFFF),
+)
+line_words = st.lists(word, min_size=16, max_size=16)
+#: A fraction in [0, 1) used to pick bit positions/lengths without
+#: knowing the frame size at strategy time.
+fraction = st.floats(0.0, 1.0, exclude_max=True, allow_nan=False)
+
+
+def build_payload(engine_name, line, refcount):
+    """A payload the way the encoder would ship it."""
+    engine = make_engine(engine_name)
+    if refcount and engine_name in REF_ENGINES:
+        refs = [bytes(64), line[::-1]][:refcount]
+        block = engine.compress_with_references(line, refs)
+        return Payload(
+            kind=PayloadKind.WITH_REFERENCES,
+            line_addr=0x80,
+            line_bytes=64,
+            block=block,
+            remote_lids=tuple(LineId(40 + i) for i in range(refcount)),
+            ref_addrs=tuple(0x1000 + 0x40 * i for i in range(refcount)),
+        )
+    if engine_name in REF_ENGINES:
+        block = engine.compress_with_references(line, ())
+    else:
+        block = engine.compress(line)
+    return Payload(
+        kind=PayloadKind.NO_REFERENCE, line_addr=0x80, line_bytes=64, block=block
+    )
+
+
+def build_frame(engine_name, words, refcount, seq=0):
+    line = words_to_bytes(words)
+    payload = build_payload(engine_name, line, refcount)
+    writer = encode_frame(payload, FMT, engine_name, seq=seq)
+    return payload, writer.getvalue(), writer.bit_count
+
+
+def flip_bit(data, bit):
+    damaged = bytearray(data)
+    damaged[bit >> 3] ^= 0x80 >> (bit & 7)
+    return bytes(damaged)
+
+
+class TestFrameFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        engine=st.sampled_from(ENGINES),
+        words=line_words,
+        refcount=st.integers(0, 2),
+        where=fraction,
+    )
+    def test_single_bit_flip_always_detected(self, engine, words, refcount, where):
+        __, frame, bits = build_frame(engine, words, refcount)
+        damaged = flip_bit(frame, int(where * bits))
+        with pytest.raises(WireDecodeError):
+            decode_frame(damaged, bits, engine, FMT)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        engine=st.sampled_from(ENGINES),
+        words=line_words,
+        refcount=st.integers(0, 2),
+        where=fraction,
+    )
+    def test_truncation_always_detected(self, engine, words, refcount, where):
+        __, frame, bits = build_frame(engine, words, refcount)
+        kept = int(where * bits)
+        with pytest.raises(WireDecodeError):
+            decode_frame(frame[: (kept + 7) // 8], kept, engine, FMT)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        engine=st.sampled_from(ENGINES),
+        words=line_words,
+        refcount=st.integers(0, 2),
+        seq=st.integers(0, 15),
+    )
+    def test_clean_frame_roundtrips(self, engine, words, refcount, seq):
+        payload, frame, bits = build_frame(engine, words, refcount, seq=seq)
+        got_seq, decoded = decode_frame(frame, bits, engine, FMT, expected_seq=seq)
+        assert got_seq == seq
+        assert decoded.kind is payload.kind
+        assert decoded.remote_lids == payload.remote_lids
+        line = words_to_bytes(words)
+        decoder = make_engine(engine)
+        if payload.kind is PayloadKind.WITH_REFERENCES:
+            refs = [bytes(64), line[::-1]][: len(payload.remote_lids)]
+            assert decoder.decompress_with_references(decoded.block, refs) == line
+        elif engine in REF_ENGINES:
+            assert decoder.decompress_with_references(decoded.block, ()) == line
+        else:
+            decoder.reset()
+            assert decoder.decompress(decoded.block) == line
+
+
+class TestBarePayloadFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        engine=st.sampled_from(ENGINES),
+        words=line_words,
+        refcount=st.integers(0, 2),
+        flips=st.lists(fraction, min_size=0, max_size=4),
+        truncate=st.one_of(st.none(), fraction),
+    )
+    def test_corruption_is_typed_or_parsed(
+        self, engine, words, refcount, flips, truncate
+    ):
+        """Without a CRC the parser may be fooled, but it must fail in
+        a typed way when it fails at all."""
+        from repro.link.wire import encode_oracle_hybrid_lbe, encode_payload
+
+        line = words_to_bytes(words)
+        payload = build_payload(engine, line, refcount)
+        if engine == "oracle" and payload.block.algorithm.startswith("lbe"):
+            writer = encode_oracle_hybrid_lbe(payload, FMT)
+        else:
+            writer = encode_payload(payload, FMT)
+        data, bits = writer.getvalue(), writer.bit_count
+        if truncate is not None and bits:
+            bits = int(truncate * bits)
+            data = data[: (bits + 7) // 8]
+        for where in flips:
+            if bits:
+                data = flip_bit(data, int(where * bits))
+        try:
+            decoded = decode_payload(data, bits, engine, FMT)
+        except DecompressionError:
+            return  # typed failure: the contract holds
+        assert isinstance(decoded.kind, PayloadKind)

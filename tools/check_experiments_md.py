@@ -1,13 +1,58 @@
 """Verify EXPERIMENTS.md's quoted summary numbers against the
 archived benchmark outputs (benchmarks/output/*.txt).
 
-Prints each archived summary line so quoted numbers can be refreshed.
+Prints each archived summary line so quoted numbers can be refreshed,
+and enforces the invariants EXPERIMENTS.md states about them (exit
+code 1 on violation). Currently checked:
+
+- resilience — the robustness contract: zero silent corruptions over
+  the whole sweep, and the breaker both trips and re-arms at the
+  highest fault rate.
 """
 import pathlib
+import sys
 
+
+def parse_summary(line):
+    """'summary: a=1, b=2.5' -> {'a': 1.0, 'b': 2.5}."""
+    fields = {}
+    for part in line.split(":", 1)[1].split(","):
+        key, _, value = part.strip().partition("=")
+        try:
+            fields[key] = float(value)
+        except ValueError:
+            pass
+    return fields
+
+
+def check_resilience(summary):
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if not summary.get("total_faults"):
+        yield "sweep injected no faults"
+    if not summary.get("breaker_trips_at_max_rate"):
+        yield "breaker never tripped at the max fault rate"
+    if not summary.get("breaker_rearms_at_max_rate"):
+        yield "breaker never re-armed at the max fault rate"
+
+
+CHECKS = {"resilience": check_resilience}
+
+failures = []
 for path in sorted(pathlib.Path("benchmarks/output").glob("*.txt")):
     text = path.read_text().splitlines()
-    summary = [l for l in text if l.startswith("summary:")]
+    summaries = [l for l in text if l.startswith("summary:")]
     print(f"== {path.stem}")
-    for line in summary:
+    for line in summaries:
         print("  ", line)
+    check = CHECKS.get(path.stem)
+    if check:
+        for line in summaries:
+            for problem in check(parse_summary(line)):
+                failures.append(f"{path.stem}: {problem}")
+        if not summaries:
+            failures.append(f"{path.stem}: no summary line to check")
+
+for failure in failures:
+    print("FAIL", failure)
+sys.exit(1 if failures else 0)
