@@ -1,0 +1,18 @@
+"""Crash-recovery campaign — snapshots + journal replay vs rebuild."""
+
+from conftest import run_experiment
+from repro.experiments import crash_recovery
+
+
+def test_crash_recovery(benchmark, scale):
+    result = run_experiment(
+        benchmark, crash_recovery.run, "crash_recovery", scale=scale
+    )
+    assert result.summary["kill_points"] >= 1000
+    assert result.summary["silent_corruptions"] == 0
+    assert result.summary["snapshot_corruptions_detected"] > 0
+    assert (
+        result.summary["mean_replay_traffic_bits"]
+        < result.summary["mean_rebuild_traffic_bits"]
+    )
+    assert result.summary["recovery_bounded"] == 1

@@ -97,3 +97,58 @@ def summarize_health(health: Dict[str, int], payload_bits: int = 0) -> Dict[str,
     summary["delivery_rate"] = health_delivery_rate(health)
     summary["overhead_ratio"] = health_overhead_ratio(health, payload_bits)
     return summary
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery summaries (repro.state durability, repro.fault campaigns)
+# ---------------------------------------------------------------------------
+
+
+def recovery_traffic_per_crash(health: Dict[str, int]) -> float:
+    """Mean resync traffic (handshake + replay/rebuild bits) per crash."""
+    crashes = health.get("endpoint_crashes", 0)
+    if not crashes:
+        return 0.0
+    return health.get("resync_traffic_bits", 0) / crashes
+
+
+def replay_fraction(health: Dict[str, int]) -> float:
+    """Fraction of crashes recovered by snapshot + journal replay (the
+    cheap path) rather than a rebuild."""
+    crashes = health.get("endpoint_crashes", 0)
+    if not crashes:
+        return 0.0
+    return health.get("journal_replays", 0) / crashes
+
+
+def summarize_recovery(health: Dict[str, int]) -> Dict[str, float]:
+    """The crash-recovery experiment's row: counters plus derived
+    per-crash traffic and the replay/rebuild split."""
+    summary: Dict[str, float] = {
+        key: float(health.get(key, 0))
+        for key in (
+            "endpoint_crashes",
+            "snapshot_restores",
+            "snapshot_corruptions_detected",
+            "journal_replays",
+            "journal_records_replayed",
+            "full_rebuilds",
+            "handshake_bits",
+            "replay_traffic_bits",
+            "rebuild_traffic_bits",
+            "resync_traffic_bits",
+            "recovery_transfers",
+            "silent_corruptions",
+        )
+    }
+    summary["replay_fraction"] = replay_fraction(health)
+    summary["traffic_per_crash_bits"] = recovery_traffic_per_crash(health)
+    replays = health.get("journal_replays", 0)
+    rebuilds = health.get("full_rebuilds", 0)
+    summary["mean_replay_bits"] = (
+        health.get("replay_traffic_bits", 0) / replays if replays else 0.0
+    )
+    summary["mean_rebuild_bits"] = (
+        health.get("rebuild_traffic_bits", 0) / rebuilds if rebuilds else 0.0
+    )
+    return summary

@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.fault.plan import FaultPlan, RecoveryPolicy
+from repro.state.plan import DurabilityPolicy
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,12 @@ class CableConfig:
     #: (:mod:`repro.link.recovery`). Implied (with defaults) whenever
     #: ``faults`` is active.
     recovery: Optional[RecoveryPolicy] = None
+    #: When set, each endpoint's mirrored metadata is guarded by a
+    #: snapshot+journal :class:`repro.state.manager.EndpointStateManager`
+    #: and a crashed endpoint recovers by epoch handshake + journal
+    #: replay instead of a full ground-truth rebuild. Implies
+    #: ``recovery`` (with defaults) when that is unset.
+    durability: Optional[DurabilityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.line_bytes % 4:

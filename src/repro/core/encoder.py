@@ -376,11 +376,15 @@ class CableLinkPair:
             "fills": 0,
             "writebacks": 0,
         }
-        # Lossy-link mode: a FaultPlan or RecoveryPolicy on the config
-        # switches transfers onto the framed wire path with
-        # NACK/retransmit recovery (repro.link.recovery).
+        # Lossy-link mode: a FaultPlan, RecoveryPolicy or
+        # DurabilityPolicy on the config switches transfers onto the
+        # framed wire path with NACK/retransmit recovery
+        # (repro.link.recovery).
         recovery = config.recovery
-        if recovery is None and config.faults is not None and config.faults.any_faults:
+        if recovery is None and (
+            (config.faults is not None and config.faults.any_faults)
+            or config.durability is not None
+        ):
             from repro.fault.plan import RecoveryPolicy
 
             recovery = RecoveryPolicy()
@@ -391,7 +395,54 @@ class CableLinkPair:
                 recovery, fmt, config.engine, config.faults
             )
             self.recovery_layer.bind(self)
+        # Crash durability (repro.state): per-endpoint snapshot+journal
+        # managers guarding the volatile mirrored metadata.
+        self.home_state = None
+        self.remote_state = None
+        self._resync_session = None
+        if config.durability is not None:
+            self._arm_durability(config.durability)
         pair.add_observer(self._on_event)
+
+    def _arm_durability(self, policy) -> None:
+        from repro.state.manager import EndpointStateManager
+
+        home_geometry = self.pair.home.geometry
+        homelid_bits = home_geometry.lineid_bits
+        remotelid_bits = self.config.remotelid_bits
+        costs = {
+            "wmt_install": homelid_bits + remotelid_bits,
+            "wmt_inval_remote": remotelid_bits,
+            "wmt_inval_home": homelid_bits,
+            "hash_insert": 32 + homelid_bits,
+            "hash_remove": 32 + homelid_bits,
+            "evict_record": 32 + remotelid_bits + 32,
+            "evict_ack": 32,
+        }
+        self.home_state = EndpointStateManager(
+            "home",
+            policy,
+            {
+                "wmt": self.home_encoder.wmt,
+                "hash": self.home_encoder.hash_table,
+                "breaker": self.recovery_layer.breaker,
+            },
+            costs,
+        )
+        remote_costs = dict(costs)
+        remote_costs["hash_insert"] = 32 + remotelid_bits
+        remote_costs["hash_remove"] = 32 + remotelid_bits
+        self.remote_state = EndpointStateManager(
+            "remote",
+            policy,
+            {
+                "hash": self.remote_decoder.hash_table,
+                "evictbuf": self.remote_decoder.evict_buffer,
+            },
+            remote_costs,
+        )
+        self.home_state.attach()
+        self.remote_state.attach()
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -515,6 +566,7 @@ class CableLinkPair:
         self.remote_decoder.on_fill_received(event)
         self._account("fill", event, delivery.payload, search)
         self.totals["overhead_bits"] += delivery.overhead_bits
+        self._step_resync()
 
     def _transfer_writeback_reliable(self, event: TransferEvent) -> None:
         layer = self.recovery_layer
@@ -542,6 +594,7 @@ class CableLinkPair:
         self._breaker_tick(delivery)
         self._account("writeback", event, delivery.payload, search)
         self.totals["overhead_bits"] += delivery.overhead_bits
+        self._step_resync()
 
     def _breaker_tick(self, delivery: Delivery) -> None:
         """Feed one transfer outcome to the circuit breaker."""
@@ -570,7 +623,152 @@ class CableLinkPair:
         if self.recovery_layer is not None:
             self.recovery_layer.health.bump("resyncs")
             self.recovery_layer.health.bump("resync_repairs", report.repairs)
+        if report.repairs:
+            # Bulk repairs bypass the journal hooks; re-baseline the
+            # durability managers so a later replay starts from the
+            # repaired image.
+            for manager in (self.home_state, self.remote_state):
+                if manager is not None:
+                    manager.checkpoint()
         return report
+
+    # ------------------------------------------------------------------
+    # Crash / restart (repro.state + epoch resync)
+    # ------------------------------------------------------------------
+
+    #: Volatile structures wiped by a warm restart of each endpoint
+    #: (cache data arrays survive; they are the ground truth).
+    _VOLATILE = {
+        "home": ("wmt", "hash", "breaker"),
+        "remote": ("hash", "evictbuf"),
+    }
+
+    def crash_endpoint(self, side: str, sabotage=(), sabotage_rng=None) -> str:
+        """Kill one endpoint's metadata mid-run and bring it back.
+
+        *side* is ``"home"`` or ``"remote"``. *sabotage* lists
+        persistent-store faults applied before the restart:
+        ``"snapshot"`` (flip a byte of the newest snapshot, needs
+        *sabotage_rng*), ``"journal_poison"`` (torn journal device) and
+        ``"journal_tail"`` (silently lose the newest records).
+
+        Returns the recovery path taken: ``"replay"`` (snapshot +
+        journal replay verified by the epoch handshake), ``"rebuild"``
+        (handshake refused the restore; incremental audit-rebuild) or
+        ``"ground-truth"`` (no durability manager; stop-the-world
+        rebuild from the cache arrays).
+        """
+        if side not in self._VOLATILE:
+            raise ValueError(f"unknown endpoint {side!r}")
+        layer = self.recovery_layer
+        if layer is None:
+            raise RuntimeError(
+                "crash_endpoint requires the framed link "
+                "(set config.durability, config.recovery or config.faults)"
+            )
+        layer.health.bump("endpoint_crashes")
+        manager = self.home_state if side == "home" else self.remote_state
+        expected = None
+        if manager is not None:
+            # What the peer knows: every journaled op rode a delivered
+            # frame, so the pre-sabotage progress is the peer's view.
+            expected = manager.expected_progress()
+            for kind in sabotage:
+                if kind == "snapshot":
+                    manager.corrupt_newest_snapshot(sabotage_rng)
+                elif kind == "journal_poison":
+                    manager.poison_journal()
+                elif kind == "journal_tail":
+                    count = (
+                        sabotage_rng.randrange(1, 9) if sabotage_rng else 4
+                    )
+                    manager.drop_journal_tail(count)
+                else:
+                    raise ValueError(f"unknown sabotage {kind!r}")
+        self._wipe_volatile(side)
+        if manager is None:
+            return self._recover_ground_truth(side)
+        from repro.link.recovery import EpochResync
+
+        restored = manager.restore()
+        handshake = EpochResync(layer.policy, layer.health)
+        path = handshake.reconnect(
+            (manager.expected_progress(), restored), expected
+        )
+        if path == "replay":
+            return path
+        # The handshake refused the restored image: drop it and rebuild
+        # from ground truth, then re-baseline the manager.
+        self._wipe_volatile(side)
+        if side == "remote":
+            self._rebuild_remote_metadata()
+            manager.checkpoint()
+        else:
+            self._resync_session = self._make_resync_session()
+        return path
+
+    def _wipe_volatile(self, side: str) -> None:
+        structures = {
+            "wmt": self.home_encoder.wmt,
+            "breaker": self.recovery_layer.breaker,
+        }
+        if side == "home":
+            structures["hash"] = self.home_encoder.hash_table
+        else:
+            structures = {
+                "hash": self.remote_decoder.hash_table,
+                "evictbuf": self.remote_decoder.evict_buffer,
+            }
+        for name in self._VOLATILE[side]:
+            structures[name].reset_state()
+
+    def _make_resync_session(self):
+        from repro.link.recovery import ResyncSession
+
+        durability = self.config.durability
+        chunk = durability.resync_chunk_sets if durability else 4
+        return ResyncSession(self, self.recovery_layer.health, chunk)
+
+    def _recover_ground_truth(self, side: str) -> str:
+        """No durability manager: stop-the-world rebuild from the cache
+        arrays — the baseline the snapshot+journal path is measured
+        against."""
+        self.recovery_layer.health.bump("full_rebuilds")
+        if side == "remote":
+            self._rebuild_remote_metadata()
+        else:
+            session = self._make_resync_session()
+            while not session.step():
+                pass
+        return "ground-truth"
+
+    def _rebuild_remote_metadata(self) -> None:
+        """Reindex the remote hash table from the remote cache's own
+        lines (local work — no link traffic). The eviction buffer
+        stays cold: lost entries surface as failed rescues → RAW,
+        never as silent corruption."""
+        decoder = self.remote_decoder
+        for remote_lid, line in self.pair.remote:
+            if line.state is not None and line.state.usable_as_reference:
+                for signature in decoder.extractor.index_signatures(line.data):
+                    decoder.hash_table.insert(signature, remote_lid)
+
+    def _step_resync(self) -> None:
+        session = self._resync_session
+        if session is None:
+            return
+        if session.step():
+            self._resync_session = None
+            if self.home_state is not None:
+                self.home_state.checkpoint()
+
+    def drain_resync(self) -> int:
+        """Finish any in-flight incremental rebuild (end of run)."""
+        steps = 0
+        while self._resync_session is not None:
+            self._step_resync()
+            steps += 1
+        return steps
 
     @property
     def health(self) -> dict:

@@ -82,3 +82,24 @@ class LinkRecoveryError(DecompressionError):
 class EvictionBufferOverflowError(RuntimeError):
     """The eviction buffer was asked to hold more than its capacity
     under the ``"strict"`` overflow policy."""
+
+
+class StateRecoveryError(RuntimeError):
+    """Base class for endpoint-state persistence failures
+    (:mod:`repro.state`). Deliberately *not* a
+    :class:`DecompressionError`: these surface while an endpoint is
+    restoring after a crash, not while a payload is decoding."""
+
+
+class SnapshotCorruptionError(StateRecoveryError):
+    """A snapshot failed its structural or checksum validation — a
+    torn write, a flipped byte, a truncated blob. Always detected,
+    never trusted: the restore path falls back to an older snapshot
+    or to ground-truth resynchronization."""
+
+
+class JournalReplayError(StateRecoveryError):
+    """The metadata journal cannot bridge from the chosen snapshot to
+    the present (records were truncated past the snapshot's epoch, or
+    the journal itself failed validation). The restore degrades to
+    incremental audit-rebuild."""

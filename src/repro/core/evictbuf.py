@@ -15,11 +15,12 @@ even over out-of-order transports such as Intel QPI.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cache.setassoc import LineId
-from repro.core.errors import EvictionBufferOverflowError
+from repro.core.errors import EvictionBufferOverflowError, SnapshotCorruptionError
 
 #: Valid overflow policies for a full buffer (see :class:`EvictionBuffer`).
 OVERFLOW_POLICIES = ("drop-oldest", "strict")
@@ -71,6 +72,10 @@ class EvictionBuffer:
             "overflows": 0,
             "high_water": 0,
         }
+        #: Durability hook (:mod:`repro.state`). ``record`` journals the
+        #: parked data too — a replayed buffer must be able to *rescue*,
+        #: not just remember that something was parked.
+        self.journal: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Remote side
@@ -100,6 +105,8 @@ class EvictionBuffer:
             self._entries.pop(0)
             self.stats["overflows"] += 1
         self.stats["high_water"] = max(self.stats["high_water"], len(self._entries))
+        if self.journal is not None:
+            self.journal("evict_record", seq, int(remote_lid), line_addr, data)
         return seq
 
     @property
@@ -115,6 +122,8 @@ class EvictionBuffer:
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.seq > seq]
         self.stats["acknowledged"] += before - len(self._entries)
+        if self.journal is not None:
+            self.journal("evict_ack", seq)
 
     # ------------------------------------------------------------------
     # Decompression fallback
@@ -130,3 +139,87 @@ class EvictionBuffer:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot / journal replay, repro.state)
+    # ------------------------------------------------------------------
+
+    def apply_record(self, seq: int, remote_lid: LineId, line_addr: int, data: bytes) -> None:
+        """Journal replay: re-park an entry with its original EvictSeq.
+
+        Bypasses :meth:`record`'s sequence allocation so the replayed
+        buffer reproduces the journaled seqs exactly, and advances
+        ``_next_seq`` past them (overflow handling matches ``record``'s
+        drop-oldest path — replay never raises).
+        """
+        self._entries.append(
+            BufferedEviction(seq=seq, remote_lid=remote_lid, line_addr=line_addr, data=data)
+        )
+        self._next_seq = max(self._next_seq, seq + 1)
+        if len(self._entries) > self.capacity:
+            self._entries.pop(0)
+
+    _SNAP_HEADER = struct.Struct("<HIII")  # capacity, next_seq, acked, entries
+    _SNAP_ENTRY = struct.Struct("<IIQH")  # seq, remote lid, line addr, data len
+
+    def snapshot_state(self) -> bytes:
+        parts = [
+            self._SNAP_HEADER.pack(
+                self.capacity, self._next_seq, self._acked, len(self._entries)
+            )
+        ]
+        for entry in self._entries:
+            parts.append(
+                self._SNAP_ENTRY.pack(
+                    entry.seq, int(entry.remote_lid), entry.line_addr, len(entry.data)
+                )
+            )
+            parts.append(entry.data)
+        return b"".join(parts)
+
+    def restore_state(self, data: bytes) -> None:
+        try:
+            self._restore_state(data)
+        except (struct.error, ValueError) as exc:
+            raise SnapshotCorruptionError(
+                f"eviction-buffer snapshot unparseable: {exc}"
+            ) from exc
+
+    def _restore_state(self, blob: bytes) -> None:
+        capacity, next_seq, acked, count = self._SNAP_HEADER.unpack_from(blob, 0)
+        if capacity != self.capacity:
+            raise SnapshotCorruptionError(
+                f"eviction-buffer snapshot capacity {capacity} does not "
+                f"match {self.capacity}"
+            )
+        offset = self._SNAP_HEADER.size
+        entries: List[BufferedEviction] = []
+        for _ in range(count):
+            seq, lid, addr, length = self._SNAP_ENTRY.unpack_from(blob, offset)
+            offset += self._SNAP_ENTRY.size
+            payload = blob[offset : offset + length]
+            if len(payload) != length:
+                raise SnapshotCorruptionError("eviction-buffer snapshot truncated")
+            offset += length
+            entries.append(
+                BufferedEviction(
+                    seq=seq, remote_lid=LineId(lid), line_addr=addr, data=payload
+                )
+            )
+        if offset != len(blob):
+            raise SnapshotCorruptionError(
+                f"{len(blob) - offset} trailing bytes in eviction-buffer snapshot"
+            )
+        self._entries = entries
+        self._next_seq = next_seq
+        self._acked = acked
+
+    def reset_state(self) -> None:
+        """Wipe to cold state. ``_next_seq`` restarts too — after a
+        crash the EvictSeq stream re-synchronizes from the next real
+        eviction, and all pre-crash in-flight references that needed
+        the lost entries surface as failed rescues (→ RAW), never as
+        silent corruption."""
+        self._entries = []
+        self._next_seq = 1
+        self._acked = 0

@@ -14,9 +14,11 @@ degradation this FIFO-per-bucket design provides.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.setassoc import LineId
+from repro.core.errors import SnapshotCorruptionError
 
 
 def _round_up_pow2(value: int) -> int:
@@ -43,6 +45,14 @@ class SignatureHashTable:
             "removals": 0,
             "stale_removals": 0,
         }
+        #: Durability hook (:mod:`repro.state`): reports effective
+        #: single-entry mutations. Bulk scrubs
+        #: (:meth:`remove_lineid_everywhere`, :meth:`clear`) are *not*
+        #: journaled — they happen during repair/resync, after which the
+        #: manager cuts a fresh checkpoint; a replay that misses them
+        #: only resurrects stale-but-in-range entries, which I3
+        #: tolerates by design.
+        self.journal: Optional[Callable] = None
 
     @classmethod
     def sized_for(
@@ -76,6 +86,8 @@ class SignatureHashTable:
         while len(bucket) > self.bucket_entries:
             bucket.pop(0)
             self.stats["bucket_evictions"] += 1
+        if self.journal is not None:
+            self.journal("hash_insert", signature, int(lid))
 
     def remove(self, signature: int, lid: LineId) -> bool:
         """Remove *lid* from *signature*'s bucket if present (§III-F).
@@ -88,6 +100,8 @@ class SignatureHashTable:
         if bucket and lid in bucket:
             bucket.remove(lid)
             self.stats["removals"] += 1
+            if self.journal is not None:
+                self.journal("hash_remove", signature, int(lid))
             return True
         self.stats["stale_removals"] += 1
         return False
@@ -125,3 +139,61 @@ class SignatureHashTable:
     def __contains__(self, signature: int) -> bool:
         bucket = self._buckets.get(self._slot(signature))
         return bool(bucket)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot / restore, repro.state)
+    # ------------------------------------------------------------------
+
+    _SNAP_HEADER = struct.Struct("<IHI")  # entries, bucket_entries, buckets
+    _SNAP_BUCKET = struct.Struct("<IH")  # slot, occupant count
+    _SNAP_LID = struct.Struct("<I")
+
+    def snapshot_state(self) -> bytes:
+        occupied = [
+            (slot, bucket)
+            for slot, bucket in sorted(self._buckets.items())
+            if bucket
+        ]
+        parts = [
+            self._SNAP_HEADER.pack(self.entries, self.bucket_entries, len(occupied))
+        ]
+        for slot, bucket in occupied:
+            parts.append(self._SNAP_BUCKET.pack(slot, len(bucket)))
+            for lid in bucket:
+                parts.append(self._SNAP_LID.pack(int(lid) & 0xFFFFFFFF))
+        return b"".join(parts)
+
+    def restore_state(self, data: bytes) -> None:
+        try:
+            self._restore_state(data)
+        except (struct.error, ValueError) as exc:
+            raise SnapshotCorruptionError(
+                f"hash-table snapshot unparseable: {exc}"
+            ) from exc
+
+    def _restore_state(self, data: bytes) -> None:
+        entries, bucket_entries, count = self._SNAP_HEADER.unpack_from(data, 0)
+        if entries != self.entries or bucket_entries != self.bucket_entries:
+            raise SnapshotCorruptionError(
+                f"hash-table snapshot shape {entries}/{bucket_entries} does "
+                f"not match {self.entries}/{self.bucket_entries}"
+            )
+        offset = self._SNAP_HEADER.size
+        buckets: Dict[int, List[LineId]] = {}
+        for _ in range(count):
+            slot, occupants = self._SNAP_BUCKET.unpack_from(data, offset)
+            offset += self._SNAP_BUCKET.size
+            bucket: List[LineId] = []
+            for _ in range(occupants):
+                (lid,) = self._SNAP_LID.unpack_from(data, offset)
+                offset += self._SNAP_LID.size
+                bucket.append(LineId(lid))
+            buckets[slot] = bucket
+        if offset != len(data):
+            raise SnapshotCorruptionError(
+                f"{len(data) - offset} trailing bytes in hash-table snapshot"
+            )
+        self._buckets = buckets
+
+    def reset_state(self) -> None:
+        self._buckets.clear()

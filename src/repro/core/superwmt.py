@@ -22,10 +22,12 @@ either interchangeably.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.setassoc import CacheGeometry, LineId
+from repro.core.errors import SnapshotCorruptionError
 from repro.core.wmt import NormalizedHomeLid
 from repro.util.bits import bits_for
 
@@ -169,6 +171,91 @@ class SuperWmt:
         )
         dedicated = self.links * self.remote.sets * self.remote.ways * per_link_entry
         return self.storage_bits / dedicated
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot / restore, repro.state)
+    # ------------------------------------------------------------------
+
+    _SNAP_HEADER = struct.Struct("<IHQI")  # sets, ways, clock, occupied
+    _SNAP_ENTRY = struct.Struct("<IHHIHiHQ")
+    # set, slot, link, remote_index, remote_way, alias, home_way, stamp
+
+    def snapshot_state(self) -> bytes:
+        occupied = [
+            (set_index, slot, entry)
+            for set_index, row in enumerate(self._table)
+            for slot, entry in enumerate(row)
+            if entry is not None
+        ]
+        parts = [
+            self._SNAP_HEADER.pack(self.sets, self.ways, self._clock, len(occupied))
+        ]
+        for set_index, slot, entry in occupied:
+            parts.append(
+                self._SNAP_ENTRY.pack(
+                    set_index,
+                    slot,
+                    entry.link_id,
+                    entry.remote_index,
+                    entry.remote_way,
+                    entry.value.alias,
+                    entry.value.home_way,
+                    entry.stamp,
+                )
+            )
+        return b"".join(parts)
+
+    def restore_state(self, data: bytes) -> None:
+        try:
+            self._restore_state(data)
+        except (struct.error, ValueError, IndexError) as exc:
+            raise SnapshotCorruptionError(
+                f"SuperWMT snapshot unparseable: {exc}"
+            ) from exc
+
+    def _restore_state(self, data: bytes) -> None:
+        sets, ways, clock, count = self._SNAP_HEADER.unpack_from(data, 0)
+        if sets != self.sets or ways != self.ways:
+            raise SnapshotCorruptionError(
+                f"SuperWMT snapshot geometry {sets}x{ways} does not match "
+                f"{self.sets}x{self.ways}"
+            )
+        expected = self._SNAP_HEADER.size + count * self._SNAP_ENTRY.size
+        if len(data) != expected:
+            raise SnapshotCorruptionError(
+                f"SuperWMT snapshot is {len(data)} bytes, expected {expected}"
+            )
+        table: List[List[Optional[_Entry]]] = [[None] * ways for _ in range(sets)]
+        offset = self._SNAP_HEADER.size
+        for _ in range(count):
+            (
+                set_index,
+                slot,
+                link_id,
+                remote_index,
+                remote_way,
+                alias,
+                home_way,
+                stamp,
+            ) = self._SNAP_ENTRY.unpack_from(data, offset)
+            offset += self._SNAP_ENTRY.size
+            if set_index >= sets or slot >= ways:
+                raise SnapshotCorruptionError(
+                    f"SuperWMT snapshot slot ({set_index}, {slot}) out of range"
+                )
+            table[set_index][slot] = _Entry(
+                link_id=link_id,
+                remote_index=remote_index,
+                remote_way=remote_way,
+                value=NormalizedHomeLid(alias, home_way),
+                stamp=stamp,
+            )
+        self._table = table
+        self._clock = clock
+
+    def reset_state(self) -> None:
+        self._table = [[None] * self.ways for _ in range(self.sets)]
+        self._clock = 0
 
 
 class PooledWmtView:

@@ -24,7 +24,7 @@ I4. **Inclusivity** — every remote line is home-resident.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 from repro.cache.line import CoherenceState
 from repro.cache.setassoc import LineId
@@ -39,8 +39,14 @@ class AuditReport:
     wmt_entries_checked: int = 0
     remote_lines_checked: int = 0
     hash_entries_checked: int = 0
-    #: Corrective actions applied when auditing with ``repair=True``.
-    repairs: int = 0
+    #: Corrective actions applied when auditing with ``repair=True``,
+    #: by category ("wmt", "hash", "evictbuf", "breaker").
+    repaired: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def repairs(self) -> int:
+        """Total corrective actions across all categories."""
+        return sum(self.repaired.values())
 
     @property
     def ok(self) -> bool:
@@ -125,20 +131,58 @@ def audit(link: CableLinkPair, repair: bool = False) -> AuditReport:
             if not (0 <= index < geometry.sets and 0 <= way < geometry.ways):
                 report.violations.append(f"I3: hash entry {int(lid)} out of range")
 
+    # I5 — eviction-buffer hygiene: no entry may linger past its
+    # acknowledgement, and no (slot, address) pair may shadow an older
+    # duplicate (rescue scans newest-first, so the older copy is dead
+    # weight that a replayed restore can leave behind).
+    buffer = link.remote_decoder.evict_buffer
+    seen_keys = set()
+    for entry in reversed(buffer._entries):
+        if entry.seq <= buffer._acked:
+            report.violations.append(
+                f"I5: eviction-buffer entry seq {entry.seq} outlived its "
+                f"acknowledgement ({buffer._acked})"
+            )
+            continue
+        key = (entry.remote_lid, entry.line_addr)
+        if key in seen_keys:
+            report.violations.append(
+                f"I5: eviction-buffer entry seq {entry.seq} shadowed by a "
+                f"newer copy of line {entry.line_addr:#x}"
+            )
+        seen_keys.add(key)
+
+    # B1 — breaker liveness: an open breaker whose cooldown has elapsed
+    # must re-arm on the next transfer; one stuck past that point (e.g.
+    # restored from a stale snapshot) keeps the link degraded for no
+    # reason.
+    breaker = (
+        link.recovery_layer.breaker if link.recovery_layer is not None else None
+    )
+    if breaker is not None and breaker.is_open:
+        elapsed = breaker.clock() - breaker._opened_at
+        if elapsed > breaker.policy.breaker_cooldown:
+            report.violations.append(
+                f"B1: breaker open for {elapsed} ticks, cooldown is "
+                f"{breaker.policy.breaker_cooldown}"
+            )
+
     if repair and not report.ok:
-        report.repairs = _repair(link)
+        report.repaired = _repair(link)
     return report
 
 
-def _repair(link: CableLinkPair) -> int:
+def _repair(link: CableLinkPair) -> Dict[str, int]:
     """Resynchronize metadata from ground truth (the cache arrays).
 
     Rebuilds the WMT so it maps exactly the remote cache's current
-    contents, and scrubs out-of-range LineIDs from both signature hash
-    tables. Stale-but-in-range hash entries are left alone — they are
-    tolerated by design (I3) and age out FIFO-style.
+    contents, scrubs out-of-range LineIDs from both signature hash
+    tables, drops acknowledged/shadowed eviction-buffer residue, and
+    closes a breaker stuck open past its cooldown. Stale-but-in-range
+    hash entries are left alone — they are tolerated by design (I3)
+    and age out FIFO-style. Returns per-category repair counts.
     """
-    repairs = 0
+    repaired = {"wmt": 0, "hash": 0, "evictbuf": 0, "breaker": 0}
     pair = link.pair
     wmt = link.home_encoder.wmt
     home, remote = pair.home, pair.remote
@@ -154,7 +198,7 @@ def _repair(link: CableLinkPair) -> int:
     for remote_index, row in enumerate(wmt._entries):
         for remote_way, entry in enumerate(row):
             if entry != wanted[remote_index][remote_way]:
-                repairs += 1
+                repaired["wmt"] += 1
     wmt._entries = wanted
 
     for table, geometry in (
@@ -168,7 +212,30 @@ def _repair(link: CableLinkPair) -> int:
                 if 0 <= index < geometry.sets and 0 <= way < geometry.ways:
                     kept.append(lid)
                 else:
-                    repairs += 1
+                    repaired["hash"] += 1
             if len(kept) != len(bucket):
                 bucket[:] = kept
-    return repairs
+
+    buffer = link.remote_decoder.evict_buffer
+    seen_keys = set()
+    kept_entries = []
+    for entry in reversed(buffer._entries):
+        key = (entry.remote_lid, entry.line_addr)
+        if entry.seq <= buffer._acked or key in seen_keys:
+            repaired["evictbuf"] += 1
+            continue
+        seen_keys.add(key)
+        kept_entries.append(entry)
+    if repaired["evictbuf"]:
+        kept_entries.reverse()
+        buffer._entries = kept_entries
+
+    breaker = (
+        link.recovery_layer.breaker if link.recovery_layer is not None else None
+    )
+    if breaker is not None and breaker.is_open:
+        elapsed = breaker.clock() - breaker._opened_at
+        if elapsed > breaker.policy.breaker_cooldown:
+            breaker.tick_open()  # re-arms: elapsed >= cooldown
+            repaired["breaker"] += 1
+    return repaired

@@ -23,9 +23,11 @@ decouples CABLE from the replacement policy (§II-C).
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+import struct
+from typing import Callable, List, NamedTuple, Optional
 
 from repro.cache.setassoc import CacheGeometry, LineId
+from repro.core.errors import SnapshotCorruptionError
 
 
 class NormalizedHomeLid(NamedTuple):
@@ -61,6 +63,10 @@ class WayMapTable:
             [None] * remote.ways for _ in range(remote.sets)
         ]
         self.stats = {"installs": 0, "invalidations": 0, "hits": 0, "misses": 0}
+        #: Durability hook (:class:`repro.state.manager.EndpointStateManager`):
+        #: when set, every effective mutation is reported as
+        #: ``journal(op, *args)``. One attribute check on the hot path.
+        self.journal: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Geometry / overhead
@@ -139,6 +145,8 @@ class WayMapTable:
         displaced = self.denormalize(previous, remote_index) if previous else None
         self._entries[remote_index][remote_way] = self.normalize(home_lid)
         self.stats["installs"] += 1
+        if self.journal is not None:
+            self.journal("wmt_install", int(home_lid), int(remote_lid))
         return displaced
 
     def invalidate_remote(self, remote_lid: LineId) -> Optional[LineId]:
@@ -149,6 +157,8 @@ class WayMapTable:
         if previous is None:
             return None
         self.stats["invalidations"] += 1
+        if self.journal is not None:
+            self.journal("wmt_inval_remote", int(remote_lid))
         return self.denormalize(previous, remote_index)
 
     def invalidate_home(self, home_lid: LineId) -> Optional[LineId]:
@@ -159,6 +169,8 @@ class WayMapTable:
             if entry == wanted:
                 self._entries[remote_index][way] = None
                 self.stats["invalidations"] += 1
+                if self.journal is not None:
+                    self.journal("wmt_inval_home", int(home_lid))
                 return LineId.pack(remote_index, way, self.remote.way_bits)
         return None
 
@@ -166,3 +178,56 @@ class WayMapTable:
         return sum(
             1 for row in self._entries for entry in row if entry is not None
         )
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot / restore, repro.state)
+    # ------------------------------------------------------------------
+
+    _SNAP_HEADER = struct.Struct("<HH")
+    _SNAP_ENTRY = struct.Struct("<iH")  # alias (-1 = invalid), home way
+
+    def snapshot_state(self) -> bytes:
+        """Serialize the full table for a durability snapshot."""
+        parts = [self._SNAP_HEADER.pack(self.remote.sets, self.remote.ways)]
+        pack = self._SNAP_ENTRY.pack
+        for row in self._entries:
+            for entry in row:
+                if entry is None:
+                    parts.append(pack(-1, 0))
+                else:
+                    parts.append(pack(entry.alias, entry.home_way))
+        return b"".join(parts)
+
+    def restore_state(self, data: bytes) -> None:
+        """Rebuild the table from :meth:`snapshot_state` output."""
+        header = self._SNAP_HEADER
+        entry_struct = self._SNAP_ENTRY
+        expected = header.size + entry_struct.size * self.remote.sets * self.remote.ways
+        if len(data) != expected:
+            raise SnapshotCorruptionError(
+                f"WMT snapshot is {len(data)} bytes, expected {expected}"
+            )
+        sets, ways = header.unpack_from(data, 0)
+        if sets != self.remote.sets or ways != self.remote.ways:
+            raise SnapshotCorruptionError(
+                f"WMT snapshot geometry {sets}x{ways} does not match "
+                f"{self.remote.sets}x{self.remote.ways}"
+            )
+        offset = header.size
+        entries: List[List[Optional[NormalizedHomeLid]]] = []
+        for _ in range(sets):
+            row: List[Optional[NormalizedHomeLid]] = []
+            for _ in range(ways):
+                alias, home_way = entry_struct.unpack_from(data, offset)
+                offset += entry_struct.size
+                row.append(
+                    None if alias < 0 else NormalizedHomeLid(alias, home_way)
+                )
+            entries.append(row)
+        self._entries = entries
+
+    def reset_state(self) -> None:
+        """Wipe to cold state (endpoint crash, before restore)."""
+        self._entries = [
+            [None] * self.remote.ways for _ in range(self.remote.sets)
+        ]

@@ -12,19 +12,25 @@ from repro.fault.plan import FaultPlan, RecoveryPolicy
 __all__ = [
     "CampaignReport",
     "ChannelFaultInjector",
+    "CrashCampaignReport",
+    "CrashFaultInjector",
     "FaultPlan",
     "RecoveryPolicy",
     "StateFaultInjector",
     "WireFaultInjector",
     "run_campaign",
+    "run_crash_campaign",
 ]
 
 _LAZY = {
     "WireFaultInjector": "repro.fault.injectors",
     "ChannelFaultInjector": "repro.fault.injectors",
     "StateFaultInjector": "repro.fault.injectors",
+    "CrashFaultInjector": "repro.fault.injectors",
     "CampaignReport": "repro.fault.campaign",
     "run_campaign": "repro.fault.campaign",
+    "CrashCampaignReport": "repro.fault.campaign",
+    "run_crash_campaign": "repro.fault.campaign",
 }
 
 

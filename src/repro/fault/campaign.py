@@ -159,3 +159,145 @@ def run_campaign(
 
     report.final_audit_ok = audit(link).ok
     return report
+
+
+# ======================================================================
+# Crash-recovery campaigns (repro.state)
+# ======================================================================
+
+
+@dataclass
+class CrashCampaignReport:
+    """Everything one crash campaign produced.
+
+    ``durable`` campaigns recover via snapshot + journal replay with
+    the epoch handshake arbitrating trust; non-durable campaigns model
+    the baseline — every crash is a stop-the-world ground-truth
+    rebuild whose traffic the durable path must beat.
+    """
+
+    plan: FaultPlan
+    policy: RecoveryPolicy
+    durable: bool
+    accesses: int = 0
+    #: Endpoint kills actually executed.
+    kill_points: int = 0
+    #: Recovery paths taken: replay / rebuild / ground-truth.
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    #: CrashFaultInjector counters (sabotage mix).
+    crash_stats: Dict[str, int] = field(default_factory=dict)
+    health: Dict[str, int] = field(default_factory=dict)
+    link_failures: int = 0
+    silent_corruptions: int = 0
+    final_audit_ok: bool = False
+    #: Upper bound on resync-session steps for one home rebuild
+    #: (ceil(remote sets / chunk)): the "bounded recovery time" claim.
+    recovery_transfer_bound: int = 0
+
+    @property
+    def replays(self) -> int:
+        return self.outcomes.get("replay", 0)
+
+    @property
+    def rebuilds(self) -> int:
+        return self.outcomes.get("rebuild", 0) + self.outcomes.get(
+            "ground-truth", 0
+        )
+
+    @property
+    def mean_replay_bits(self) -> float:
+        """Mean resync traffic per journal-replay recovery (handshake
+        amortized in)."""
+        if not self.replays:
+            return 0.0
+        return self.health.get("replay_traffic_bits", 0) / self.replays
+
+    @property
+    def mean_rebuild_bits(self) -> float:
+        if not self.rebuilds:
+            return 0.0
+        return self.health.get("rebuild_traffic_bits", 0) / self.rebuilds
+
+    @property
+    def recovery_bounded(self) -> bool:
+        """No recovery walked more chunks than the per-rebuild bound."""
+        return self.health.get("recovery_transfers", 0) <= (
+            self.recovery_transfer_bound * max(1, self.rebuilds)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """The crash-consistency contract: corruption is never silent,
+        recovery time is bounded, and the final state audits clean."""
+        return (
+            self.silent_corruptions == 0
+            and self.final_audit_ok
+            and self.recovery_bounded
+        )
+
+
+def run_crash_campaign(
+    plan: FaultPlan,
+    policy: Optional[RecoveryPolicy] = None,
+    durability=None,
+    accesses: int = 7000,
+    addresses: int = 400,
+    write_fraction: float = 0.25,
+    seed: int = 1,
+    config: Optional[CableConfig] = None,
+) -> CrashCampaignReport:
+    """Kill endpoints at randomized points per *plan* and report.
+
+    *durability* is a :class:`repro.state.plan.DurabilityPolicy` (the
+    snapshot+journal path) or None (the ground-truth-rebuild baseline).
+    Deterministic: same arguments, same kills, same sabotage.
+    """
+    from repro.fault.injectors import CrashFaultInjector
+
+    policy = policy or RecoveryPolicy()
+    base = config or CableConfig()
+    link = build_campaign_link(
+        plan, policy, base.with_overrides(durability=durability), seed=plan.seed
+    )
+    crasher = CrashFaultInjector(plan)
+    report = CrashCampaignReport(
+        plan=plan, policy=policy, durable=durability is not None
+    )
+    durability_cfg = link.config.durability
+    chunk = durability_cfg.resync_chunk_sets if durability_cfg else 4
+    remote_sets = link.pair.remote.geometry.sets
+    report.recovery_transfer_bound = -(-remote_sets // chunk)
+    rng = random.Random(seed)
+    for i in range(accesses):
+        addr = rng.randrange(addresses)
+        is_write = rng.random() < write_fraction
+        write_data = None
+        if is_write:
+            data = bytearray(link.backing_read(addr))
+            struct.pack_into("<I", data, 0, i)
+            write_data = bytes(data)
+        try:
+            link.access(addr, is_write=is_write, write_data=write_data)
+        except LinkRecoveryError:
+            report.link_failures += 1
+        except DecompressionError:
+            pass
+        report.accesses += 1
+        side = crasher.decide()
+        if side is not None:
+            sabotage = crasher.sabotage_for(side)
+            path = link.crash_endpoint(
+                side, sabotage=sabotage, sabotage_rng=crasher.rng
+            )
+            report.kill_points += 1
+            report.outcomes[path] = report.outcomes.get(path, 0) + 1
+
+    link.drain_resync()
+    report.health = link.health
+    report.crash_stats = dict(crasher.stats)
+    report.silent_corruptions = report.health.get("silent_corruptions", 0)
+    link.resync()
+    from repro.core.sync import audit
+
+    report.final_audit_ok = audit(link).ok
+    return report

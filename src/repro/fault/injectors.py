@@ -246,3 +246,63 @@ class StateFaultInjector:
             + self.stats["silent_evictions"]
             + self.stats["hash_corruptions"]
         )
+
+
+class CrashFaultInjector:
+    """Kills endpoints at randomized points (repro.state recovery).
+
+    Rolled once per access by the crash campaign; a kill decision
+    returns the side to crash, and :meth:`sabotage_for` independently
+    decides which persistent-store damage rides along (torn newest
+    snapshot, poisoned journal, silently lost journal tail) — the
+    restore path must *detect* all of it, never trust it.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = make_rng(plan.seed, "crash")
+        self.stats = {
+            "home_crashes": 0,
+            "remote_crashes": 0,
+            "snapshot_corruptions": 0,
+            "journal_poisons": 0,
+            "journal_tail_drops": 0,
+        }
+
+    @property
+    def rng(self):
+        """The injector's RNG stream (byte-flip positions etc.)."""
+        return self._rng
+
+    def decide(self) -> Optional[str]:
+        """``"home"``/``"remote"`` to kill that endpoint now, or None."""
+        rng = self._rng
+        plan = self.plan
+        if rng.random() < plan.home_crash_rate:
+            self.stats["home_crashes"] += 1
+            return "home"
+        if rng.random() < plan.remote_crash_rate:
+            self.stats["remote_crashes"] += 1
+            return "remote"
+        return None
+
+    def sabotage_for(self, side: str) -> Tuple[str, ...]:
+        """Persistent-store damage accompanying one crash of *side*."""
+        rng = self._rng
+        plan = self.plan
+        sabotage = []
+        if rng.random() < plan.snapshot_corrupt_rate:
+            sabotage.append("snapshot")
+            self.stats["snapshot_corruptions"] += 1
+        if rng.random() < plan.journal_loss_rate:
+            if rng.random() < 0.5:
+                sabotage.append("journal_poison")
+                self.stats["journal_poisons"] += 1
+            else:
+                sabotage.append("journal_tail")
+                self.stats["journal_tail_drops"] += 1
+        return tuple(sabotage)
+
+    @property
+    def faults_injected(self) -> int:
+        return self.stats["home_crashes"] + self.stats["remote_crashes"]

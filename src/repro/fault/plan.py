@@ -46,6 +46,16 @@ class FaultPlan:
     hash_corrupt_rate: float = 0.0
     #: Garbage entries inserted per hash-corruption event.
     hash_corrupt_entries: int = 3
+    # --- endpoint crashes (per access; repro.state recovery) -----------
+    #: Home endpoint loses its volatile metadata (WMT, hash, breaker).
+    home_crash_rate: float = 0.0
+    #: Remote endpoint loses its volatile metadata (hash, evict buffer).
+    remote_crash_rate: float = 0.0
+    #: Probability a crash also tears the newest persisted snapshot.
+    snapshot_corrupt_rate: float = 0.0
+    #: Probability a crash also damages the journal (poisons the device
+    #: or silently loses the unsynced tail).
+    journal_loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for f in fields(self):

@@ -30,6 +30,7 @@ frame is 2^-crc_bits.
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
@@ -37,6 +38,7 @@ from typing import Callable, Dict, Optional
 from repro.core.errors import (
     CrcMismatchError,
     LinkRecoveryError,
+    SnapshotCorruptionError,
     StaleReferenceError,
     WireDecodeError,
 )
@@ -47,10 +49,15 @@ from repro.fault.injectors import (
     WireFaultInjector,
 )
 from repro.fault.plan import FaultPlan, RecoveryPolicy
+from repro.cache.setassoc import LineId
 from repro.link.wire import (
+    EPOCH_KIND_EPOCH,
+    EPOCH_KIND_HELLO,
     DecodedPayload,
     WireFormat,
+    decode_epoch_frame,
     decode_frame,
+    encode_epoch_frame,
     encode_frame,
 )
 
@@ -75,6 +82,18 @@ class LinkHealth:
         "link_failures",
         "overhead_bits",
         "silent_corruptions",
+        # -- crash recovery (repro.state + epoch resync) ----------------
+        "endpoint_crashes",
+        "snapshot_restores",
+        "snapshot_corruptions_detected",
+        "journal_replays",
+        "journal_records_replayed",
+        "full_rebuilds",
+        "handshake_bits",
+        "replay_traffic_bits",
+        "rebuild_traffic_bits",
+        "resync_traffic_bits",
+        "recovery_transfers",
     )
 
     def __init__(self) -> None:
@@ -97,17 +116,36 @@ class CircuitBreaker:
     failure rate over the last ``breaker_window`` transfers reaches
     ``breaker_threshold`` (with at least ``breaker_min_samples``
     observations) the breaker **trips** ``open``: the link degrades to
-    uncompressed payloads for ``breaker_cooldown`` transfers, then
-    re-arms with a cleared window.
+    uncompressed payloads until ``breaker_cooldown`` has elapsed on the
+    breaker's clock, then re-arms with a cleared window.
+
+    The cooldown is measured against an injectable monotonic *clock*
+    (``clock()`` → int). The default advances by one per observed
+    transfer (``record``/``tick_open``), giving the classic
+    "cooldown counted in transfers" behaviour; a simulation can inject
+    its cycle counter instead. No wall-clock is ever read, so breaker
+    timing is deterministic under test.
     """
 
-    def __init__(self, policy: RecoveryPolicy) -> None:
+    def __init__(
+        self,
+        policy: RecoveryPolicy,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
         self.policy = policy
         self._window: deque = deque(maxlen=policy.breaker_window)
-        self._cooldown_left = 0
+        self._events = 0
+        self.clock: Callable[[], int] = (
+            clock if clock is not None else self._event_clock
+        )
+        self._opened_at = 0
         self.is_open = False
         self.trips = 0
         self.recoveries = 0
+        self.last_open_duration = 0
+
+    def _event_clock(self) -> int:
+        return self._events
 
     @property
     def failure_rate(self) -> float:
@@ -117,26 +155,94 @@ class CircuitBreaker:
 
     def record(self, ok: bool) -> bool:
         """Record one closed-state transfer outcome; True if it tripped."""
+        self._events += 1
         self._window.append(ok)
         if (
             len(self._window) >= self.policy.breaker_min_samples
             and self.failure_rate >= self.policy.breaker_threshold
         ):
             self.is_open = True
-            self._cooldown_left = self.policy.breaker_cooldown
+            self._opened_at = self.clock()
             self._window.clear()
             self.trips += 1
             return True
         return False
 
     def tick_open(self) -> bool:
-        """Count one open-state (raw) transfer; True if it re-armed."""
-        self._cooldown_left -= 1
-        if self._cooldown_left <= 0:
+        """Observe one open-state (raw) transfer; True if it re-armed."""
+        self._events += 1
+        elapsed = self.clock() - self._opened_at
+        if elapsed >= self.policy.breaker_cooldown:
             self.is_open = False
             self.recoveries += 1
+            self.last_open_duration = elapsed
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot / restore, repro.state) — the breaker is
+    # home-endpoint state: losing it across a crash would silently
+    # reopen a degraded link at full compression.
+    # ------------------------------------------------------------------
+
+    _SNAP_HEADER = struct.Struct("<BIIQQQH")
+    # is_open, trips, recoveries, events, opened_at, last_open, window
+
+    def snapshot_state(self) -> bytes:
+        return self._SNAP_HEADER.pack(
+            1 if self.is_open else 0,
+            self.trips,
+            self.recoveries,
+            self._events,
+            self._opened_at,
+            self.last_open_duration,
+            len(self._window),
+        ) + bytes(1 if ok else 0 for ok in self._window)
+
+    def restore_state(self, data: bytes) -> None:
+        try:
+            (
+                is_open,
+                trips,
+                recoveries,
+                events,
+                opened_at,
+                last_open,
+                window_len,
+            ) = self._SNAP_HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise SnapshotCorruptionError(
+                f"breaker snapshot unparseable: {exc}"
+            ) from exc
+        if window_len > self.policy.breaker_window:
+            raise SnapshotCorruptionError(
+                f"breaker snapshot window {window_len} exceeds policy "
+                f"{self.policy.breaker_window}"
+            )
+        if len(data) != self._SNAP_HEADER.size + window_len:
+            raise SnapshotCorruptionError(
+                f"breaker snapshot is {len(data)} bytes, expected "
+                f"{self._SNAP_HEADER.size + window_len}"
+            )
+        window = data[self._SNAP_HEADER.size :]
+        self.is_open = bool(is_open)
+        self.trips = trips
+        self.recoveries = recoveries
+        self._events = events
+        self._opened_at = opened_at
+        self.last_open_duration = last_open
+        self._window.clear()
+        self._window.extend(bool(b) for b in window)
+
+    def reset_state(self) -> None:
+        """Cold state (endpoint crash, before restore)."""
+        self._window.clear()
+        self._events = 0
+        self._opened_at = 0
+        self.is_open = False
+        self.trips = 0
+        self.recoveries = 0
+        self.last_open_duration = 0
 
 
 @dataclass
@@ -365,10 +471,11 @@ class RecoveryLayer:
         fmt: WireFormat,
         engine_name: str,
         faults: Optional[FaultPlan] = None,
+        breaker_clock: Optional[Callable[[], int]] = None,
     ) -> None:
         self.policy = policy
         self.health = LinkHealth()
-        self.breaker = CircuitBreaker(policy)
+        self.breaker = CircuitBreaker(policy, clock=breaker_clock)
         wire_inj = channel_inj = None
         self.state_faults: Optional[StateFaultInjector] = None
         if faults is not None and faults.any_faults:
@@ -405,3 +512,162 @@ class RecoveryLayer:
             if injector is not None:
                 stats.update(injector.stats)
         return stats
+
+
+# ======================================================================
+# Epoch-based crash resynchronization
+# ======================================================================
+
+
+class EpochResync:
+    """The reconnect handshake after an endpoint restart.
+
+    The restarted endpoint sends a HELLO frame carrying the epoch and
+    journal length its restore reached; the surviving peer answers
+    with an EPOCH frame carrying the progress it last observed (every
+    journaled op rode a delivered frame, so the peer's view *is* the
+    pre-crash truth). The journal-replay restore is trusted only when
+    the two agree exactly **and** the restore itself reported
+    completeness — any mismatch (lost journal tail, poisoned journal,
+    epoch gap past ``max_epoch_gap``) degrades to the incremental
+    audit-rebuild path, where every entry is re-verified against data
+    before it can back a DIFF.
+
+    Both handshake frames are real encoded bits (CRC-guarded, see
+    :func:`repro.link.wire.encode_epoch_frame`) and their cost is
+    charged to the link's recovery-traffic counters.
+    """
+
+    def __init__(self, policy: RecoveryPolicy, health: LinkHealth) -> None:
+        self.policy = policy
+        self.health = health
+
+    def reconnect(self, restored, expected) -> str:
+        """Run the handshake; returns ``"replay"`` or ``"rebuild"``.
+
+        *restored* is the :class:`repro.state.manager.RestoreResult`
+        plus the manager's post-restore progress (``(epoch, records)``
+        via ``manager.expected_progress()``); *expected* is the
+        progress the surviving peer last observed.
+        """
+        manager_progress, result = restored
+        policy = self.policy
+        hello = encode_epoch_frame(
+            EPOCH_KIND_HELLO,
+            manager_progress[0],
+            manager_progress[1],
+            result.complete,
+            policy.crc_bits,
+            policy.seq_bits,
+        )
+        reply = encode_epoch_frame(
+            EPOCH_KIND_EPOCH,
+            expected[0],
+            expected[1],
+            True,
+            policy.crc_bits,
+            policy.seq_bits,
+        )
+        # Model the receive side of both frames (exercises the codec;
+        # a corrupted handshake would surface here as a loud error).
+        for writer in (hello, reply):
+            decode_epoch_frame(
+                writer.getvalue(),
+                writer.bit_count,
+                policy.crc_bits,
+                policy.seq_bits,
+            )
+        handshake = hello.bit_count + reply.bit_count
+        health = self.health
+        health.bump("handshake_bits", handshake)
+        health.bump("resync_traffic_bits", handshake)
+        health.bump("snapshot_restores")
+        health.bump("snapshot_corruptions_detected", result.corrupt_skipped)
+        if result.complete and manager_progress == expected:
+            health.bump("journal_replays")
+            health.bump("journal_records_replayed", result.records_replayed)
+            health.bump("replay_traffic_bits", result.replay_bits)
+            health.bump("resync_traffic_bits", result.replay_bits)
+            return "replay"
+        health.bump("full_rebuilds")
+        return "rebuild"
+
+
+class ResyncSession:
+    """Incremental ground-truth rebuild of home-side metadata.
+
+    Walks the remote cache ``chunk_sets`` sets at a time — one chunk
+    per live transfer, so recovery interleaves with traffic instead of
+    stalling the link. For every resident remote line the home cache
+    is probed for the same address; a SHARED pair is byte-verified
+    (its data crosses the link, charged to ``rebuild_traffic_bits``)
+    before the WMT entry is installed and its index-time signatures
+    re-inserted on both sides. Entries the walk has not reached yet
+    simply are not referencable — compression loss, never corruption.
+
+    The session operates on a :class:`~repro.core.encoder.CableLinkPair`
+    duck-typed (this module cannot import it — layering).
+    """
+
+    def __init__(self, pair, health: LinkHealth, chunk_sets: int) -> None:
+        self.pair = pair
+        self.health = health
+        self.chunk_sets = max(1, chunk_sets)
+        remote_geometry = pair.pair.remote.geometry
+        self.total_sets = remote_geometry.sets
+        self._way_bits = remote_geometry.way_bits
+        self._ways = remote_geometry.ways
+        self._line_bits = remote_geometry.line_bytes * 8
+        self.next_set = 0
+        self.done = False
+        self.verified_lines = 0
+        self.steps = 0
+
+    def step(self) -> bool:
+        """Process one chunk; returns True when the walk completed."""
+        if self.done:
+            return True
+        self.steps += 1
+        self.health.bump("recovery_transfers")
+        pair = self.pair
+        encoder = pair.home_encoder
+        decoder = pair.remote_decoder
+        wmt = encoder.wmt
+        home, remote = pair.pair.home, pair.pair.remote
+        end = min(self.next_set + self.chunk_sets, self.total_sets)
+        for set_index in range(self.next_set, end):
+            for way in range(self._ways):
+                remote_lid = LineId.pack(set_index, way, self._way_bits)
+                line = remote.read_by_lineid(remote_lid)
+                if line is None:
+                    if wmt.home_lid_for(remote_lid) is not None:
+                        wmt.invalidate_remote(remote_lid)
+                    continue
+                hit = home.lookup(line.tag, touch=False)
+                if hit is None:
+                    continue  # I4 hole; never advertise it
+                home_way, home_line = hit
+                home_lid = home.lineid(home.index_of(line.tag), home_way)
+                usable = (
+                    home_line.state is not None
+                    and home_line.state.usable_as_reference
+                )
+                if usable:
+                    # Byte-verify before trusting: the line's data is
+                    # shipped across for comparison.
+                    self.health.bump("rebuild_traffic_bits", self._line_bits)
+                    self.health.bump("resync_traffic_bits", self._line_bits)
+                    if home_line.data != line.data:
+                        continue  # divergent — not reference-safe
+                    self.verified_lines += 1
+                wmt.install(home_lid, remote_lid)
+                if usable:
+                    for signature in encoder.extractor.index_signatures(
+                        line.data
+                    ):
+                        encoder.hash_table.insert(signature, home_lid)
+                        decoder.hash_table.insert(signature, remote_lid)
+        self.next_set = end
+        if self.next_set >= self.total_sets:
+            self.done = True
+        return self.done

@@ -642,6 +642,88 @@ def decode_frame(
     return seq, decoded
 
 
+# ======================================================================
+# Resync handshake frames: HELLO / EPOCH  (crash recovery)
+# ======================================================================
+
+#: Resync-frame discriminator byte (never a valid payload-frame start
+#: is not required — the receiver knows from protocol state which
+#: decoder to use; the magic is a cheap cross-check on top of the CRC).
+EPOCH_FRAME_MAGIC = 0xE5
+
+#: A restarted endpoint announces itself and its restored epoch.
+EPOCH_KIND_HELLO = 0
+#: The surviving peer answers with the progress it last observed.
+EPOCH_KIND_EPOCH = 1
+
+_EPOCH_KINDS = (EPOCH_KIND_HELLO, EPOCH_KIND_EPOCH)
+
+
+def encode_epoch_frame(
+    kind: int,
+    epoch: int,
+    records: int,
+    complete: bool = False,
+    crc_bits: int = 16,
+    seq_bits: int = FRAME_SEQ_BITS,
+) -> BitWriter:
+    """Build one resync handshake frame.
+
+    Layout: ``seq(=0) | magic(8) | kind(2) | epoch(32) | records(32) |
+    complete(1) | crc``. *records* is the journal length at *epoch*
+    (HELLO) or the last journal length the peer observed (EPOCH); the
+    pair lets both sides agree whether a journal replay actually
+    reached the present before any DIFF is trusted.
+    """
+    if kind not in _EPOCH_KINDS:
+        raise ValueError(f"unknown epoch-frame kind {kind}")
+    writer = BitWriter()
+    writer.write(0, seq_bits)  # handshake frames restart the window
+    writer.write(EPOCH_FRAME_MAGIC, 8)
+    writer.write(kind, 2)
+    writer.write(epoch & 0xFFFFFFFF, 32)
+    writer.write(records & 0xFFFFFFFF, 32)
+    writer.write(1 if complete else 0, 1)
+    crc = frame_crc(writer.getvalue(), writer.bit_count, crc_bits)
+    writer.write(crc, crc_bits)
+    return writer
+
+
+def decode_epoch_frame(
+    data: bytes,
+    bit_count: int,
+    crc_bits: int = 16,
+    seq_bits: int = FRAME_SEQ_BITS,
+) -> Tuple[int, int, int, bool]:
+    """Verify and parse a handshake frame → ``(kind, epoch, records,
+    complete)``. CRC is checked before any field is believed."""
+    expected = seq_bits + 8 + 2 + 32 + 32 + 1 + crc_bits
+    if bit_count != expected or bit_count > len(data) * 8:
+        raise TruncatedPayloadError(
+            f"epoch frame of {bit_count} bits, expected {expected}"
+        )
+    prefix_bits = bit_count - crc_bits
+    stored = BitReader(data, bit_count)
+    stored.seek(prefix_bits)
+    received_crc = stored.read(crc_bits)
+    computed = frame_crc(data, prefix_bits, crc_bits)
+    if received_crc != computed:
+        raise CrcMismatchError(
+            f"epoch frame CRC {received_crc:#x} != computed {computed:#x}"
+        )
+    reader = BitReader(data, prefix_bits)
+    reader.read(seq_bits)
+    if reader.read(8) != EPOCH_FRAME_MAGIC:
+        raise CorruptPayloadError("epoch frame magic mismatch")
+    kind = reader.read(2)
+    if kind not in _EPOCH_KINDS:
+        raise CorruptPayloadError(f"unknown epoch-frame kind {kind}")
+    epoch = reader.read(32)
+    records = reader.read(32)
+    complete = bool(reader.read(1))
+    return kind, epoch, records, complete
+
+
 def wire_format_for(config, engine=None) -> WireFormat:
     """Build the negotiated :class:`WireFormat` for a CABLE config.
 

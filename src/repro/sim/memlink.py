@@ -22,7 +22,7 @@ the event counts the timing/energy models consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.hierarchy import InclusivePair, TransferEvent
 from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
@@ -30,6 +30,7 @@ from repro.compression.registry import make_engine
 from repro.core.config import CableConfig
 from repro.core.encoder import CableLinkPair, DecompressionError
 from repro.fault.plan import FaultPlan, RecoveryPolicy
+from repro.state.plan import DurabilityPolicy
 from repro.link.channel import LinkModel
 from repro.link.toggles import ToggleCounter
 from repro.core.payload import Payload, PayloadKind
@@ -92,6 +93,13 @@ class MemLinkConfig:
     #: can vary fault rates without rebuilding the whole CableConfig.
     faults: Optional[FaultPlan] = None
     recovery: Optional[RecoveryPolicy] = None
+    #: Durability (cable scheme only): arms snapshot+journal endpoint
+    #: state managers on the link; overrides ``cable.durability``.
+    durability: Optional[DurabilityPolicy] = None
+    #: Scripted endpoint kills: (access_index, side) pairs, applied
+    #: right after the given access. Requires a recovery layer (set
+    #: ``durability`` or ``faults``/``recovery``).
+    crash_points: Tuple[Tuple[int, str], ...] = ()
 
     def scaled(self, **kwargs) -> "MemLinkConfig":
         return replace(self, **kwargs)
@@ -245,6 +253,14 @@ class MemLinkSimulation:
                 overrides["faults"] = config.faults
             if config.recovery is not None:
                 overrides["recovery"] = config.recovery
+            if config.durability is not None:
+                overrides["durability"] = config.durability
+            if config.crash_points and config.recovery is None and (
+                config.faults is None or not config.faults.any_faults
+            ) and config.durability is None and cable_cfg.recovery is None:
+                # Scripted kills need the recovery layer armed even
+                # when no probabilistic faults were requested.
+                overrides["recovery"] = RecoveryPolicy()
             if overrides:
                 cable_cfg = cable_cfg.with_overrides(**overrides)
             self.cable = CableLinkPair(cable_cfg, self.pair, verify=config.verify)
@@ -361,6 +377,9 @@ class MemLinkSimulation:
                 original_account(direction, event, payload, search)
 
             self.cable._account = hooked
+        crash_at: Dict[int, List[str]] = {}
+        for index, side in config.crash_points:
+            crash_at.setdefault(index, []).append(side)
         for i, access in enumerate(self.workload.accesses(config.accesses)):
             if i == warmup:
                 self._start_counting()
@@ -369,6 +388,11 @@ class MemLinkSimulation:
                 is_write=access.is_write,
                 write_data=access.write_data,
             )
+            if i in crash_at and self.cable is not None:
+                for side in crash_at[i]:
+                    self.cable.crash_endpoint(side)
+        if self.cable is not None:
+            self.cable.drain_resync()
         self._finish()
         return self.result
 

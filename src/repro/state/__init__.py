@@ -1,0 +1,39 @@
+"""Crash-consistent endpoint state: snapshots, journal, restore.
+
+Layering note: :mod:`repro.core.config` embeds
+:class:`DurabilityPolicy`, so importing this package must stay cheap
+and cycle-free — only the pure-stdlib :mod:`repro.state.plan` is
+loaded eagerly. The snapshot container, journal, and the endpoint
+manager (which reaches back into :mod:`repro.core`) resolve lazily on
+first attribute access.
+"""
+
+from repro.state.plan import DurabilityPolicy
+
+__all__ = [
+    "DurabilityPolicy",
+    "EndpointStateManager",
+    "JournalRecord",
+    "MetadataJournal",
+    "RestoreResult",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+_LAZY = {
+    "EndpointStateManager": "repro.state.manager",
+    "RestoreResult": "repro.state.manager",
+    "JournalRecord": "repro.state.journal",
+    "MetadataJournal": "repro.state.journal",
+    "read_snapshot": "repro.state.snapshot",
+    "write_snapshot": "repro.state.snapshot",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,56 @@
+"""Declarative durability configuration for endpoint-crash recovery.
+
+Pure-stdlib leaf module, mirroring :mod:`repro.fault.plan`: it must be
+importable by :mod:`repro.core.config` (which embeds a
+:class:`DurabilityPolicy` in :class:`~repro.core.config.CableConfig`)
+without dragging the rest of the state subsystem — or anything from
+:mod:`repro.core` — into the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Parameters of the snapshot/journal persistence layer.
+
+    Attaching a policy to :class:`~repro.core.config.CableConfig`
+    gives each endpoint of a :class:`~repro.core.encoder.CableLinkPair`
+    an :class:`~repro.state.manager.EndpointStateManager`: every
+    metadata mutation (WMT install/invalidate, hash insert/remove,
+    eviction-buffer record/ack) is journaled, and a versioned
+    checksummed snapshot is cut every ``checkpoint_interval`` records.
+    A crashed endpoint then restores from ``snapshot + journal
+    replay`` instead of a stop-the-world ground-truth rebuild.
+    """
+
+    #: Journal records between snapshots (one *epoch*). Smaller means
+    #: cheaper replay after a crash but more frequent snapshot writes.
+    checkpoint_interval: int = 64
+    #: Snapshots retained (newest first). The journal keeps records
+    #: back to the oldest retained snapshot's epoch, so a torn newest
+    #: snapshot can fall back one generation and still replay forward.
+    snapshots_kept: int = 2
+    #: Largest snapshot-to-present epoch gap the reconnect handshake
+    #: will bridge by journal replay; a wider gap degrades to the
+    #: incremental audit-rebuild path.
+    max_epoch_gap: int = 8
+    #: Remote sets reconciled per live transfer during an incremental
+    #: audit-rebuild (rate limiting: recovery interleaves with traffic
+    #: instead of stalling it).
+    resync_chunk_sets: int = 4
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.snapshots_kept < 1:
+            raise ValueError("snapshots_kept must be positive")
+        if self.max_epoch_gap < 0:
+            raise ValueError("max_epoch_gap cannot be negative")
+        if self.resync_chunk_sets < 1:
+            raise ValueError("resync_chunk_sets must be positive")
+
+    def scaled(self, **overrides) -> "DurabilityPolicy":
+        return replace(self, **overrides)

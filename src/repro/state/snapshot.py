@@ -1,0 +1,132 @@
+"""Versioned, checksummed snapshot container.
+
+A snapshot is the durable image of one endpoint's mirrored metadata at
+an epoch boundary: named sections (one per structure — WMT, hash
+table, eviction buffer, breaker...), each integrity-guarded, inside a
+checksummed header. The container is deliberately paranoid: **any**
+single flipped byte, truncation or torn write anywhere in the blob
+raises :class:`~repro.core.errors.SnapshotCorruptionError` — the
+restore path must be able to trust a snapshot completely or discard
+it completely, never half-trust it.
+
+Layout (all integers little-endian)::
+
+    header   magic(4s) | version(u16) | epoch(u32) | sections(u16) | crc32(u32)
+    section  name_len(u16) | name | payload_len(u32) | payload | crc32(u32)
+
+The header CRC covers the header fields; each section CRC covers its
+name and payload. A parse must consume the blob exactly — trailing
+bytes are corruption, not slack.
+
+Per-structure serialization lives *on* the structures themselves
+(``snapshot_state()`` / ``restore_state()`` in :mod:`repro.core`);
+this module knows nothing about their content, which keeps the state
+package free of core imports.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Tuple
+
+from repro.core.errors import SnapshotCorruptionError
+
+MAGIC = b"CBLS"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHIHI")
+_NAME_LEN = struct.Struct("<H")
+_PAYLOAD_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+
+def write_snapshot(epoch: int, sections: Dict[str, bytes]) -> bytes:
+    """Serialize named sections into one checksummed blob."""
+    head = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        epoch & 0xFFFFFFFF,
+        len(sections),
+        zlib.crc32(MAGIC + struct.pack("<HIH", VERSION, epoch & 0xFFFFFFFF, len(sections))),
+    )
+    parts = [head]
+    for name, payload in sections.items():
+        encoded = name.encode("utf-8")
+        parts.append(_NAME_LEN.pack(len(encoded)))
+        parts.append(encoded)
+        parts.append(_PAYLOAD_LEN.pack(len(payload)))
+        parts.append(payload)
+        parts.append(_CRC.pack(zlib.crc32(payload, zlib.crc32(encoded))))
+    return b"".join(parts)
+
+
+def read_snapshot(blob: bytes) -> Tuple[int, Dict[str, bytes]]:
+    """Parse and fully verify a snapshot blob.
+
+    Returns ``(epoch, sections)``; raises
+    :class:`~repro.core.errors.SnapshotCorruptionError` on any
+    structural or checksum failure. Struct-level failures (a flipped
+    length byte sending a read off the end) are wrapped, never leaked
+    as bare ``struct.error``.
+    """
+    try:
+        return _read_snapshot(blob)
+    except SnapshotCorruptionError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError, IndexError) as exc:
+        raise SnapshotCorruptionError(f"snapshot unparseable: {exc}") from exc
+
+
+def _read_snapshot(blob: bytes) -> Tuple[int, Dict[str, bytes]]:
+    if len(blob) < _HEADER.size:
+        raise SnapshotCorruptionError(
+            f"snapshot too short for header ({len(blob)} bytes)"
+        )
+    magic, version, epoch, count, header_crc = _HEADER.unpack_from(blob, 0)
+    computed = zlib.crc32(magic + struct.pack("<HIH", version, epoch, count))
+    if header_crc != computed:
+        raise SnapshotCorruptionError(
+            f"snapshot header CRC {header_crc:#x} != computed {computed:#x}"
+        )
+    if magic != MAGIC:
+        raise SnapshotCorruptionError(f"bad snapshot magic {magic!r}")
+    if version != VERSION:
+        raise SnapshotCorruptionError(f"unsupported snapshot version {version}")
+    offset = _HEADER.size
+    sections: Dict[str, bytes] = {}
+    for _ in range(count):
+        if offset + _NAME_LEN.size > len(blob):
+            raise SnapshotCorruptionError("snapshot truncated in section header")
+        (name_len,) = _NAME_LEN.unpack_from(blob, offset)
+        offset += _NAME_LEN.size
+        name_bytes = blob[offset : offset + name_len]
+        if len(name_bytes) != name_len:
+            raise SnapshotCorruptionError("snapshot truncated in section name")
+        offset += name_len
+        if offset + _PAYLOAD_LEN.size > len(blob):
+            raise SnapshotCorruptionError("snapshot truncated in section length")
+        (payload_len,) = _PAYLOAD_LEN.unpack_from(blob, offset)
+        offset += _PAYLOAD_LEN.size
+        payload = blob[offset : offset + payload_len]
+        if len(payload) != payload_len:
+            raise SnapshotCorruptionError("snapshot truncated in section payload")
+        offset += payload_len
+        if offset + _CRC.size > len(blob):
+            raise SnapshotCorruptionError("snapshot truncated in section CRC")
+        (stored,) = _CRC.unpack_from(blob, offset)
+        offset += _CRC.size
+        computed = zlib.crc32(payload, zlib.crc32(name_bytes))
+        if stored != computed:
+            raise SnapshotCorruptionError(
+                f"section CRC {stored:#x} != computed {computed:#x}"
+            )
+        name = name_bytes.decode("utf-8")
+        if name in sections:
+            raise SnapshotCorruptionError(f"duplicate snapshot section {name!r}")
+        sections[name] = payload
+    if offset != len(blob):
+        raise SnapshotCorruptionError(
+            f"{len(blob) - offset} trailing bytes after last section"
+        )
+    return epoch, sections

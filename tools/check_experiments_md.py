@@ -8,6 +8,10 @@ code 1 on violation). Currently checked:
 - resilience — the robustness contract: zero silent corruptions over
   the whole sweep, and the breaker both trips and re-arms at the
   highest fault rate.
+- crash_recovery — the crash-consistency contract: ≥ 1000 kill points
+  with zero silent corruptions, torn snapshots actually detected, the
+  replay path measurably cheaper than rebuild, and recovery time
+  bounded.
 """
 import pathlib
 import sys
@@ -36,7 +40,25 @@ def check_resilience(summary):
         yield "breaker never re-armed at the max fault rate"
 
 
-CHECKS = {"resilience": check_resilience}
+def check_crash_recovery(summary):
+    if summary.get("kill_points", 0) < 1000:
+        yield "needs at least 1000 kill points"
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if not summary.get("snapshot_corruptions_detected"):
+        yield "no torn snapshot was ever detected"
+    replay = summary.get("mean_replay_traffic_bits", 0)
+    rebuild = summary.get("mean_rebuild_traffic_bits", 0)
+    if not replay or not rebuild or replay >= rebuild:
+        yield "journal replay must cost less traffic than rebuild"
+    if summary.get("recovery_bounded") != 1:
+        yield "recovery was not bounded / final audit failed"
+
+
+CHECKS = {
+    "resilience": check_resilience,
+    "crash_recovery": check_crash_recovery,
+}
 
 failures = []
 for path in sorted(pathlib.Path("benchmarks/output").glob("*.txt")):
