@@ -24,7 +24,7 @@ import struct
 from typing import List
 
 import pytest
-from conftest import OUTPUT_DIR, archive_benchmark_stats
+from conftest import OUTPUT_DIR, archive_benchmark_stats, archive_obs_snapshot
 
 from repro.cache.line import CoherenceState
 from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
@@ -51,6 +51,7 @@ def _record(benchmark, name: str, per_round: int, unit: str) -> float:
     rate = per_round / _mean_seconds(benchmark)
     _RESULTS.append(f"{name}: {rate:,.0f} {unit}")
     archive_benchmark_stats(benchmark, f"hotpath_{name}")
+    archive_obs_snapshot(f"hotpath_{name}")
     return rate
 
 

@@ -59,6 +59,25 @@ def archive_benchmark_stats(benchmark, output_name: str) -> None:
     )
 
 
+def archive_obs_snapshot(output_name: str) -> None:
+    """Dump the metrics registry as ``{output_name}.obs.json``.
+
+    Only when observability is on (``REPRO_OBS=1`` in the CI smoke
+    jobs) — the default benchmark runs keep the registry disabled so
+    the timings stay comparable to the archived baselines. The
+    registry accumulates across tests in one process, so each archive
+    is a running image; ``tools/obs_report.py`` renders them.
+    """
+    from repro.obs.registry import METRICS
+
+    if not METRICS.enabled:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{output_name}.obs.json").write_text(
+        json.dumps(METRICS.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
+
+
 def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
     """Run an experiment once under pytest-benchmark and archive it."""
     result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
@@ -66,6 +85,7 @@ def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{output_name}.txt").write_text(text + "\n")
     archive_benchmark_stats(benchmark, output_name)
+    archive_obs_snapshot(output_name)
     print()
     print(text)
     return result

@@ -16,7 +16,8 @@ synchronized through the pair's coherence events (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from time import perf_counter_ns
+from typing import Callable, List, Optional
 
 from repro.cache.hierarchy import InclusivePair, TransferEvent
 from repro.cache.setassoc import LineId, SetAssociativeCache
@@ -32,6 +33,8 @@ from repro.core.signature import SignatureExtractor
 from repro.core.wmt import WayMapTable
 from repro.link.recovery import Delivery, RecoveryLayer
 from repro.link.wire import wire_format_for
+from repro.obs.registry import METRICS
+from repro.obs.tracer import trace
 
 __all__ = [
     "CableHomeEncoder",
@@ -91,6 +94,16 @@ class CableHomeEncoder:
             "uncompressed": 0,
             "reference_count": 0,
         }
+        self._obs = METRICS
+        self._stage_encode = METRICS.stage("encode.fill")
+        self._stage_diff = METRICS.stage("encode.diff")
+        self._stage_index = METRICS.stage("signature.index")
+        self._stage_decode_wb = METRICS.stage("decode.writeback")
+        self._ctr_kinds = {
+            kind.value: METRICS.counter(f"encode.kind.{kind.value}")
+            for kind in PayloadKind
+        }
+        self._ctr_indexed = METRICS.counter("signature.lines_indexed")
 
     def _referencable(self, home_lid: LineId) -> Optional[LineId]:
         """A home line is referencable iff the WMT proves it resides in
@@ -110,7 +123,12 @@ class CableHomeEncoder:
         search; pass None when the line is not resident (should not
         happen on the fill path of an inclusive hierarchy).
         """
+        enabled = self._obs.enabled
+        if enabled:
+            t0 = perf_counter_ns()
         search = self.pipeline.search(data, exclude=home_lid)
+        if enabled:
+            t1 = perf_counter_ns()
         no_ref = self.engine.compress_with_references(data, ())
         with_refs = None
         if search.references:
@@ -123,6 +141,8 @@ class CableHomeEncoder:
                 tuple(r.remote_lid for r in refs),
                 tuple(r.line_addr for r in refs),
             )
+        if enabled:
+            self._stage_diff.observe(perf_counter_ns() - t1)
         payload = choose_payload(
             line_addr,
             data,
@@ -134,6 +154,9 @@ class CableHomeEncoder:
         self.stats["encodes"] += 1
         self.stats[payload.kind.value] += 1
         self.stats["reference_count"] += len(payload.remote_lids)
+        if enabled:
+            self._stage_encode.observe(perf_counter_ns() - t0)
+            self._ctr_kinds[payload.kind.value].inc()
         return EncodeOutcome(payload=payload, search=search)
 
     # ------------------------------------------------------------------
@@ -149,6 +172,9 @@ class CableHomeEncoder:
         """
         if payload.kind is PayloadKind.UNCOMPRESSED:
             return payload.raw
+        enabled = self._obs.enabled
+        if enabled:
+            t0 = perf_counter_ns()
         references: List[bytes] = []
         for i, remote_lid in enumerate(payload.remote_lids):
             home_lid = self.wmt.home_lid_for(remote_lid)
@@ -167,7 +193,10 @@ class CableHomeEncoder:
                     f"expected line {payload.ref_addrs[i]:#x}, found {line.tag:#x}"
                 )
             references.append(line.data)
-        return self.engine.decompress_with_references(payload.block, references)
+        data = self.engine.decompress_with_references(payload.block, references)
+        if enabled:
+            self._stage_decode_wb.observe(perf_counter_ns() - t0)
+        return data
 
     # ------------------------------------------------------------------
     # Synchronization hooks (driven by repro.core.sync)
@@ -182,8 +211,14 @@ class CableHomeEncoder:
             # event has already done this — belt and braces).
             self.invalidate_home_line(displaced, data=None)
         if event.state is not None and event.state.usable_as_reference:
+            enabled = self._obs.enabled
+            if enabled:
+                t0 = perf_counter_ns()
             for signature in self.extractor.index_signatures(event.data):
                 self.hash_table.insert(signature, event.home_lid)
+            if enabled:
+                self._stage_index.observe(perf_counter_ns() - t0)
+                self._ctr_indexed.inc()
 
     def on_remote_evict(self, event: TransferEvent) -> None:
         """The remote lost a line: WMT slot out, signatures out."""
@@ -238,6 +273,11 @@ class CableRemoteDecoder:
             config, self.extractor, self.hash_table, remote_cache, self._referencable
         )
         self.stats = {"decodes": 0, "rescued_references": 0, "writeback_encodes": 0}
+        self._obs = METRICS
+        self._stage_decode = METRICS.stage("decode.fill")
+        self._stage_encode_wb = METRICS.stage("encode.writeback")
+        self._stage_diff = METRICS.stage("encode.diff")
+        self._ctr_rescued = METRICS.counter("decode.rescued_references")
 
     def _referencable(self, remote_lid: LineId) -> Optional[LineId]:
         """For write-back search the remote references its own slots;
@@ -252,10 +292,16 @@ class CableRemoteDecoder:
         self.stats["decodes"] += 1
         if payload.kind is PayloadKind.UNCOMPRESSED:
             return payload.raw
+        enabled = self._obs.enabled
+        if enabled:
+            t0 = perf_counter_ns()
         references: List[bytes] = []
         for i, remote_lid in enumerate(payload.remote_lids):
             references.append(self._read_reference(payload, i, remote_lid))
-        return self.engine.decompress_with_references(payload.block, references)
+        data = self.engine.decompress_with_references(payload.block, references)
+        if enabled:
+            self._stage_decode.observe(perf_counter_ns() - t0)
+        return data
 
     def _read_reference(self, payload: Payload, i: int, remote_lid: LineId) -> bytes:
         line = self.remote_cache.read_by_lineid(remote_lid)
@@ -268,6 +314,8 @@ class CableRemoteDecoder:
             rescued = self.evict_buffer.rescue(remote_lid, expected_addr)
             if rescued is not None:
                 self.stats["rescued_references"] += 1
+                if self._obs.enabled:
+                    self._ctr_rescued.inc()
                 return rescued
         raise StaleReferenceError(
             f"reference {remote_lid} missing from remote cache and eviction buffer"
@@ -279,7 +327,12 @@ class CableRemoteDecoder:
 
     def encode_writeback(self, line_addr: int, data: bytes, remote_lid) -> EncodeOutcome:
         self.stats["writeback_encodes"] += 1
+        enabled = self._obs.enabled
+        if enabled:
+            t0 = perf_counter_ns()
         search = self.pipeline.search(data, exclude=remote_lid)
+        if enabled:
+            t1 = perf_counter_ns()
         no_ref = self.engine.compress_with_references(data, ())
         with_refs = None
         if search.references:
@@ -290,6 +343,8 @@ class CableRemoteDecoder:
                 tuple(r.remote_lid for r in refs),
                 tuple(r.line_addr for r in refs),
             )
+        if enabled:
+            self._stage_diff.observe(perf_counter_ns() - t1)
         payload = choose_payload(
             line_addr,
             data,
@@ -298,6 +353,8 @@ class CableRemoteDecoder:
             self.config.no_reference_threshold,
             self.config.remotelid_bits,
         )
+        if enabled:
+            self._stage_encode_wb.observe(perf_counter_ns() - t0)
         return EncodeOutcome(payload=payload, search=search)
 
     # ------------------------------------------------------------------
@@ -350,12 +407,17 @@ class CableLinkPair:
         verify: bool = True,
         enabled: bool = True,
         silent_evictions: bool = False,
+        breaker_clock: Optional[Callable[[], float]] = None,
     ) -> None:
         """``silent_evictions`` models §IV-B's 1-to-1 / linearly
         interleaved configurations: the remote never sends explicit
         eviction notices for fill displacements; the home tracks them
         purely from the way-replacement info embedded in each request
         (the WMT-displacement path of ``on_fill_sent``).
+
+        ``breaker_clock`` is forwarded to the circuit breaker so
+        campaigns can pin breaker cooldowns to a deterministic
+        simulated clock instead of wall time.
         """
         self.config = config
         self.pair = pair
@@ -376,6 +438,13 @@ class CableLinkPair:
             "fills": 0,
             "writebacks": 0,
         }
+        self._obs = METRICS
+        self._ctr_transfers = {
+            direction: METRICS.counter(f"link.{direction}s")
+            for direction in ("fill", "writeback")
+        }
+        self._ctr_payload_bits = METRICS.counter("link.payload_bits")
+        self._ctr_raw_bits = METRICS.counter("link.raw_bits")
         # Lossy-link mode: a FaultPlan, RecoveryPolicy or
         # DurabilityPolicy on the config switches transfers onto the
         # framed wire path with NACK/retransmit recovery
@@ -392,7 +461,11 @@ class CableLinkPair:
         if recovery is not None:
             fmt = wire_format_for(config, self.home_encoder.engine)
             self.recovery_layer = RecoveryLayer(
-                recovery, fmt, config.engine, config.faults
+                recovery,
+                fmt,
+                config.engine,
+                config.faults,
+                breaker_clock=breaker_clock,
             )
             self.recovery_layer.bind(self)
         # Crash durability (repro.state): per-endpoint snapshot+journal
@@ -619,7 +692,8 @@ class CableLinkPair:
         """
         from repro.core.sync import audit  # lazy: sync imports this module
 
-        report = audit(self, repair=True)
+        with trace("link.resync"):
+            report = audit(self, repair=True)
         if self.recovery_layer is not None:
             self.recovery_layer.health.bump("resyncs")
             self.recovery_layer.health.bump("resync_repairs", report.repairs)
@@ -792,6 +866,10 @@ class CableLinkPair:
         self.totals[f"{direction}s"] += 1
         self.totals[f"{direction}_bits"] += payload.size_bits
         self.totals["raw_bits"] += len(event.data) * 8
+        if self._obs.enabled:
+            self._ctr_transfers[direction].inc()
+            self._ctr_payload_bits.inc(payload.size_bits)
+            self._ctr_raw_bits.inc(len(event.data) * 8)
 
     # ------------------------------------------------------------------
     # Driving

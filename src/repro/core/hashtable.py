@@ -19,6 +19,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.setassoc import LineId
 from repro.core.errors import SnapshotCorruptionError
+from repro.obs.registry import METRICS, MetricsRegistry
+
+# Pre-bound registry mirrors. Lookups (≤16 per search) are left
+# unmirrored on purpose — the search pipeline publishes probe counts in
+# bulk — so the hot path pays nothing for observability here.
+_CTR_INSERTS = METRICS.counter("hashtable.inserts")
+_CTR_BUCKET_EVICTIONS = METRICS.counter("hashtable.bucket_evictions")
 
 
 def _round_up_pow2(value: int) -> int:
@@ -83,9 +90,13 @@ class SignatureHashTable:
             bucket.remove(lid)
         bucket.append(lid)
         self.stats["inserts"] += 1
+        if METRICS.enabled:
+            _CTR_INSERTS.inc()
         while len(bucket) > self.bucket_entries:
             bucket.pop(0)
             self.stats["bucket_evictions"] += 1
+            if METRICS.enabled:
+                _CTR_BUCKET_EVICTIONS.inc()
         if self.journal is not None:
             self.journal("hash_insert", signature, int(lid))
 
@@ -135,6 +146,17 @@ class SignatureHashTable:
 
     def occupancy(self) -> int:
         return sum(len(b) for b in self._buckets.values())
+
+    def publish_stats(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "hashtable",
+    ) -> None:
+        """Mirror the stats dict and occupancy into registry gauges."""
+        reg = registry if registry is not None else METRICS
+        for name, value in self.stats.items():
+            reg.gauge(f"{prefix}.{name}").set(value)
+        reg.gauge(f"{prefix}.occupancy").set(self.occupancy())
 
     def __contains__(self, signature: int) -> bool:
         bucket = self._buckets.get(self._slot(signature))

@@ -24,12 +24,14 @@ naturally dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.setassoc import LineId, SetAssociativeCache
 from repro.core.config import CableConfig
 from repro.core.hashtable import SignatureHashTable
 from repro.core.signature import SignatureExtractor
+from repro.obs.registry import METRICS
 from repro.util.kernels import DATACLASS_SLOTS, line_match_mask, match_mask, popcount32
 
 
@@ -131,6 +133,20 @@ class SearchPipeline:
         self.hash_table = hash_table
         self.home_cache = home_cache
         self.referencable = referencable
+        # Pre-bound instruments: the hot path records with inline
+        # perf_counter_ns pairs, never the context-manager tracer.
+        self._obs = METRICS
+        self._stage_extract = METRICS.stage("search.extract")
+        self._stage_probe = METRICS.stage("search.probe")
+        self._stage_prerank = METRICS.stage("search.prerank")
+        self._stage_cbv = METRICS.stage("search.cbv")
+        self._stage_select = METRICS.stage("search.select")
+        self._ctr_searches = METRICS.counter("search.searches")
+        self._ctr_signature_hits = METRICS.counter("search.signature_hits")
+        self._ctr_candidates = METRICS.counter("search.candidates")
+        self._ctr_data_reads = METRICS.counter("search.data_reads")
+        self._ctr_references = METRICS.counter("search.references")
+        self._ctr_covered_words = METRICS.counter("search.covered_words")
 
     def search(self, line: bytes, exclude: Optional[LineId] = None) -> SearchResult:
         """Find up to ``max_references`` references for *line*.
@@ -139,10 +155,17 @@ class SearchPipeline:
         candidate set — a line must not reference itself.
         """
         result = SearchResult()
+        enabled = self._obs.enabled
+        if enabled:
+            t0 = perf_counter_ns()
         signatures = self.extractor.search_signatures(line)[
             : self.config.max_signatures
         ]
         result.signatures_used = len(signatures)
+        if enabled:
+            t1 = perf_counter_ns()
+            self._stage_extract.observe(t1 - t0)
+            self._ctr_searches.inc()
         if not signatures:
             return result
 
@@ -156,8 +179,16 @@ class SearchPipeline:
                 counts[lid] = counts.get(lid, 0) + 1
                 order.setdefault(lid, len(order))
         result.candidates_probed = len(counts)
+        if enabled:
+            t2 = perf_counter_ns()
+            self._stage_probe.observe(t2 - t1)
         top = sorted(counts, key=lambda lid: (-counts[lid], order[lid]))
         top = top[: self.config.data_access_count]
+        if enabled:
+            t3 = perf_counter_ns()
+            self._stage_prerank.observe(t3 - t2)
+            self._ctr_signature_hits.inc(sum(counts.values()))
+            self._ctr_candidates.inc(len(counts))
 
         # Data-array reads + CBV construction (step ④).
         candidates: List[Tuple[LineId, LineId, bytes, int, int]] = []
@@ -173,6 +204,9 @@ class SearchPipeline:
             if cbv == 0:
                 continue  # hash collision / dissimilar line (Fig 7)
             candidates.append((lid, remote_lid, cached.data, cbv, cached.tag))
+        if enabled:
+            t4 = perf_counter_ns()
+            self._stage_cbv.observe(t4 - t3)
 
         # CBV ranking (step ⑤) — greedy by default, naive for ablation.
         select = greedy_select if self.config.ranking_policy == "greedy" else top_select
@@ -181,6 +215,11 @@ class SearchPipeline:
             self.config.max_references,
         )
         result.combined_cbv = combined
+        if enabled:
+            self._stage_select.observe(perf_counter_ns() - t4)
+            self._ctr_data_reads.inc(result.data_reads)
+            self._ctr_references.inc(len(picks))
+            self._ctr_covered_words.inc(popcount32(combined))
         for i in picks:
             home_lid, remote_lid, data, cbv, addr = candidates[i]
             result.references.append(

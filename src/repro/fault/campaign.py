@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.cache.hierarchy import InclusivePair
 from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
@@ -31,6 +31,32 @@ from repro.core.config import CableConfig
 from repro.core.encoder import CableLinkPair
 from repro.core.errors import DecompressionError, LinkRecoveryError
 from repro.fault.plan import FaultPlan, RecoveryPolicy
+from repro.obs.registry import METRICS
+from repro.obs.tracer import trace
+
+
+class SimulatedClock:
+    """A deterministic monotonic clock for breaker-cooldown injection.
+
+    Campaigns (or a cycle-accurate driver) advance it explicitly —
+    e.g. once per driven access — so breaker trip/re-arm points are a
+    pure function of the workload, independent of how many wire-level
+    transfer events each access happens to generate under load. The
+    breaker's built-in default counts transfer events instead; both
+    are deterministic, but only an injected clock lets two differently
+    loaded runs share a timebase.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.now = start
+
+    def tick(self, amount: int = 1) -> None:
+        self.now += amount
+
+    def __call__(self) -> int:
+        return self.now
 
 
 @dataclass
@@ -73,6 +99,7 @@ def build_campaign_link(
     policy: Optional[RecoveryPolicy] = None,
     config: Optional[CableConfig] = None,
     seed: int = 0,
+    breaker_clock: Optional[Callable[[], int]] = None,
 ) -> CableLinkPair:
     """A compressible synthetic workload on a lossy link.
 
@@ -102,6 +129,7 @@ def build_campaign_link(
     link = CableLinkPair(
         base.with_overrides(faults=plan, recovery=policy or RecoveryPolicy()),
         pair,
+        breaker_clock=breaker_clock,
     )
     link.backing_read = read
     return link
@@ -115,14 +143,20 @@ def run_campaign(
     write_fraction: float = 0.25,
     seed: int = 1,
     config: Optional[CableConfig] = None,
+    breaker_clock: Optional[SimulatedClock] = None,
 ) -> CampaignReport:
     """Inject faults per *plan* for *accesses* accesses and report.
 
     Deterministic: the same arguments replay the same campaign down to
-    each flipped bit.
+    each flipped bit. Pass a :class:`SimulatedClock` as
+    *breaker_clock* to pin breaker cooldowns to the access count (the
+    clock ticks once per driven access); by default the breaker keeps
+    its transfer-event clock, preserving the pinned campaign numbers.
     """
     policy = policy or RecoveryPolicy()
-    link = build_campaign_link(plan, policy, config=config, seed=plan.seed)
+    link = build_campaign_link(
+        plan, policy, config=config, seed=plan.seed, breaker_clock=breaker_clock
+    )
     report = CampaignReport(plan=plan, policy=policy)
     rng = random.Random(seed)
     for i in range(accesses):
@@ -133,6 +167,8 @@ def run_campaign(
             data = bytearray(link.backing_read(addr))
             struct.pack_into("<I", data, 0, i)
             write_data = bytes(data)
+        if breaker_clock is not None:
+            breaker_clock.tick()
         try:
             link.access(addr, is_write=is_write, write_data=write_data)
         except LinkRecoveryError:
@@ -158,7 +194,23 @@ def run_campaign(
     from repro.core.sync import audit
 
     report.final_audit_ok = audit(link).ok
+    if METRICS.enabled:
+        _publish_campaign(
+            "campaign",
+            accesses=report.accesses,
+            transfers=report.transfers,
+            faults_injected=report.faults_injected,
+            link_failures=report.link_failures,
+            silent_corruptions=report.silent_corruptions,
+            final_repairs=report.final_repairs,
+        )
     return report
+
+
+def _publish_campaign(prefix: str, **values: int) -> None:
+    """Roll one campaign's outcome up into registry gauges."""
+    for name, value in values.items():
+        METRICS.gauge(f"{prefix}.{name}").set(value)
 
 
 # ======================================================================
@@ -245,19 +297,25 @@ def run_crash_campaign(
     write_fraction: float = 0.25,
     seed: int = 1,
     config: Optional[CableConfig] = None,
+    breaker_clock: Optional[SimulatedClock] = None,
 ) -> CrashCampaignReport:
     """Kill endpoints at randomized points per *plan* and report.
 
     *durability* is a :class:`repro.state.plan.DurabilityPolicy` (the
     snapshot+journal path) or None (the ground-truth-rebuild baseline).
     Deterministic: same arguments, same kills, same sabotage.
+    *breaker_clock* works as in :func:`run_campaign`.
     """
     from repro.fault.injectors import CrashFaultInjector
 
     policy = policy or RecoveryPolicy()
     base = config or CableConfig()
     link = build_campaign_link(
-        plan, policy, base.with_overrides(durability=durability), seed=plan.seed
+        plan,
+        policy,
+        base.with_overrides(durability=durability),
+        seed=plan.seed,
+        breaker_clock=breaker_clock,
     )
     crasher = CrashFaultInjector(plan)
     report = CrashCampaignReport(
@@ -276,6 +334,8 @@ def run_crash_campaign(
             data = bytearray(link.backing_read(addr))
             struct.pack_into("<I", data, 0, i)
             write_data = bytes(data)
+        if breaker_clock is not None:
+            breaker_clock.tick()
         try:
             link.access(addr, is_write=is_write, write_data=write_data)
         except LinkRecoveryError:
@@ -286,9 +346,10 @@ def run_crash_campaign(
         side = crasher.decide()
         if side is not None:
             sabotage = crasher.sabotage_for(side)
-            path = link.crash_endpoint(
-                side, sabotage=sabotage, sabotage_rng=crasher.rng
-            )
+            with trace("state.crash_recovery"):
+                path = link.crash_endpoint(
+                    side, sabotage=sabotage, sabotage_rng=crasher.rng
+                )
             report.kill_points += 1
             report.outcomes[path] = report.outcomes.get(path, 0) + 1
 
@@ -300,4 +361,14 @@ def run_crash_campaign(
     from repro.core.sync import audit
 
     report.final_audit_ok = audit(link).ok
+    if METRICS.enabled:
+        _publish_campaign(
+            "crash_campaign",
+            accesses=report.accesses,
+            kill_points=report.kill_points,
+            replays=report.replays,
+            rebuilds=report.rebuilds,
+            link_failures=report.link_failures,
+            silent_corruptions=report.silent_corruptions,
+        )
     return report

@@ -33,6 +33,7 @@ from __future__ import annotations
 import struct
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Callable, Dict, Optional
 
 from repro.core.errors import (
@@ -60,10 +61,19 @@ from repro.link.wire import (
     encode_epoch_frame,
     encode_frame,
 )
+from repro.obs.registry import METRICS
+from repro.obs.tracer import trace
 
 
 class LinkHealth:
-    """Per-link health counters, flowing into metrics/experiments."""
+    """Per-link health counters, flowing into metrics/experiments.
+
+    The per-link ``counts`` dict stays the source of truth (golden
+    outputs and the resilience tables read it); when observability is
+    on, every bump is mirrored into the process registry as a
+    ``link.<field>`` counter so campaigns, benchmarks and experiments
+    all report through one scrape surface.
+    """
 
     FIELDS = (
         "transfers",
@@ -98,9 +108,15 @@ class LinkHealth:
 
     def __init__(self) -> None:
         self.counts: Dict[str, int] = {field: 0 for field in self.FIELDS}
+        self._obs = METRICS
+        self._mirrors = {
+            field: METRICS.counter(f"link.{field}") for field in self.FIELDS
+        }
 
     def bump(self, field: str, amount: int = 1) -> None:
         self.counts[field] += amount
+        if self._obs.enabled:
+            self._mirrors[field].inc(amount)
 
     def __getitem__(self, field: str) -> int:
         return self.counts[field]
@@ -283,6 +299,9 @@ class ReliableLink:
         self.state_faults = state_faults
         self._seq: Dict[str, int] = {}
         self._last_frame: Dict[str, tuple] = {}
+        self._obs = METRICS
+        self._stage_deliver = METRICS.stage("link.deliver")
+        self._stage_retransmit = METRICS.stage("link.retransmit")
 
     # ------------------------------------------------------------------
 
@@ -334,6 +353,9 @@ class ReliableLink:
         policy = self.policy
         health = self.health
         self.health.bump("transfers")
+        obs_enabled = self._obs.enabled
+        if obs_enabled:
+            t0 = perf_counter_ns()
         current = payload
         raw_mode = current.kind is PayloadKind.UNCOMPRESSED
         budget = policy.max_raw_retries if raw_mode else policy.max_retries
@@ -449,6 +471,14 @@ class ReliableLink:
             self._seq[direction] = (seq + 1) % (1 << policy.seq_bits)
             health.bump("deliveries")
             health.bump("overhead_bits", overhead_bits)
+            if obs_enabled:
+                elapsed = perf_counter_ns() - t0
+                self._stage_deliver.observe(elapsed)
+                if attempts > 1:
+                    # Degraded deliveries get their own distribution so
+                    # retransmit latency is visible next to the clean
+                    # path, not averaged into it.
+                    self._stage_retransmit.observe(elapsed)
             return Delivery(
                 data=data,
                 payload=current,
@@ -550,6 +580,10 @@ class EpochResync:
         via ``manager.expected_progress()``); *expected* is the
         progress the surviving peer last observed.
         """
+        with trace("link.epoch_handshake"):
+            return self._reconnect(restored, expected)
+
+    def _reconnect(self, restored, expected) -> str:
         manager_progress, result = restored
         policy = self.policy
         hello = encode_epoch_frame(
@@ -627,6 +661,10 @@ class ResyncSession:
         """Process one chunk; returns True when the walk completed."""
         if self.done:
             return True
+        with trace("link.resync.step"):
+            return self._step()
+
+    def _step(self) -> bool:
         self.steps += 1
         self.health.bump("recovery_transfers")
         pair = self.pair

@@ -34,6 +34,7 @@ reordered/replayed frames (see :mod:`repro.link.recovery`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import List, Optional, Tuple
 
 from repro.cache.setassoc import LineId
@@ -45,8 +46,13 @@ from repro.core.errors import (
     TruncatedPayloadError,
 )
 from repro.core.payload import FLAG_BITS, Payload, PayloadKind, REFCOUNT_BITS
+from repro.obs.registry import METRICS
 from repro.util.bits import BitReader, BitWriter, bits_for
 from repro.util.words import WORD_BYTES
+
+# Pre-bound wire-framing stage histograms (see repro.obs.registry).
+_STAGE_FRAME_ENCODE = METRICS.stage("wire.frame_encode")
+_STAGE_FRAME_DECODE = METRICS.stage("wire.frame_decode")
 
 
 @dataclass(frozen=True)
@@ -277,7 +283,12 @@ def _bdi_decode(reader: BitReader, line_bytes: int):
         return ("rep", value, (), (), line_bytes)
     base_size, delta_size = _BDI_SIZES[layout]
     elements = line_bytes // base_size
-    base = _signed(reader.read(base_size * 8), base_size * 8)
+    # The BDI compressor splits lines with *unsigned* struct formats,
+    # so bases are unsigned; only deltas are two's-complement (they can
+    # be negative when the element sits below the base). Sign-extending
+    # the base here used to reconstruct values outside the unsigned
+    # element range for lines with the top bit set.
+    base = reader.read(base_size * 8)
     mask = tuple(bool(reader.read(1)) for _ in range(elements))
     deltas = tuple(
         _signed(reader.read(delta_size * 8), delta_size * 8)
@@ -573,6 +584,9 @@ def encode_frame(
     Handles the ORACLE hybrid's LBE arm transparently (the payload
     records which arm won via its block's algorithm).
     """
+    enabled = METRICS.enabled
+    if enabled:
+        t0 = perf_counter_ns()
     if (
         engine_name.startswith("oracle")
         and payload.kind is not PayloadKind.UNCOMPRESSED
@@ -586,6 +600,8 @@ def encode_frame(
     writer.extend(body)
     crc = frame_crc(writer.getvalue(), writer.bit_count, crc_bits)
     writer.write(crc, crc_bits)
+    if enabled:
+        _STAGE_FRAME_ENCODE.observe(perf_counter_ns() - t0)
     return writer
 
 
@@ -607,6 +623,9 @@ def decode_frame(
     :class:`~repro.core.errors.TruncatedPayloadError` when the frame is
     too short to hold even an empty payload.
     """
+    enabled = METRICS.enabled
+    if enabled:
+        t0 = perf_counter_ns()
     min_bits = seq_bits + crc_bits + FLAG_BITS
     if bit_count < min_bits or bit_count > len(data) * 8:
         raise TruncatedPayloadError(
@@ -639,6 +658,8 @@ def decode_frame(
         raise
     except (ValueError, IndexError, KeyError, OverflowError) as exc:
         raise CorruptPayloadError(f"payload bits unparseable: {exc}") from exc
+    if enabled:
+        _STAGE_FRAME_DECODE.observe(perf_counter_ns() - t0)
     return seq, decoded
 
 

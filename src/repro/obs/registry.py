@@ -1,0 +1,254 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :data:`METRICS` registry serves the whole process, mirroring how a
+production service exposes a single scrape surface. Three instrument
+kinds cover the evaluation's needs:
+
+- :class:`Counter` — monotonically increasing event counts (signature
+  hits, retransmits, WM-miss fallbacks);
+- :class:`Gauge` — last-written values (campaign outcomes, occupancy);
+- :class:`Histogram` — fixed-bucket distributions, used for the
+  per-stage wall-time profile (nanosecond buckets, see
+  :data:`STAGE_BUCKETS_NS`).
+
+Cost discipline: **disabled means free**. Instrumented call sites hold
+module-level references to their instruments and guard every record
+with ``if METRICS.enabled:`` — one attribute load and a branch on the
+disabled path, no function call, no allocation
+(``tests/test_obs.py`` pins this). Instruments are created once at
+import/construction time; :meth:`MetricsRegistry.reset` zeroes values
+in place and never replaces instrument objects, so held references
+stay valid.
+
+Naming convention (see docs/architecture.md §Observability):
+dot-separated lowercase paths, coarse-to-fine —
+``stage.<area>.<step>`` for wall-time histograms (e.g.
+``stage.search.cbv``), ``<area>.<event>`` for counters (e.g.
+``search.signature_hits``, ``link.retries``).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Fixed bucket boundaries for per-stage wall-time histograms, in
+#: nanoseconds: 500ns up to 1s in roughly 1-2.5-5 decades. Fixed
+#: boundaries keep snapshots mergeable across runs and exporters.
+STAGE_BUCKETS_NS: Tuple[int, ...] = (
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A fixed-boundary bucket histogram with sum/count/min/max.
+
+    ``bounds`` are upper bucket edges; an implicit +inf bucket catches
+    the overflow. ``counts`` has ``len(bounds) + 1`` slots.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, bounds: Tuple[int, ...] = STAGE_BUCKETS_NS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.total: Number = 0
+        self.count = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bucket edge).
+
+        Good enough for a latency table; the exporter ships the raw
+        buckets so consumers can do better.
+        """
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                if i < len(self.bounds):
+                    return float(self.bounds[i])
+                return float(self.max if self.max is not None else 0.0)
+        return float(self.max if self.max is not None else 0.0)
+
+    def zero(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with an on/off switch.
+
+    ``enabled`` gates *recording*, not creation: modules bind their
+    instruments at import time regardless, so flipping the switch
+    mid-run needs no re-wiring. The registry is intentionally not
+    thread-locked — the simulator is single-threaded, and production
+    Prometheus clients accept the same race on += for speed.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Tuple[int, ...] = STAGE_BUCKETS_NS
+    ) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def stage(self, name: str) -> Histogram:
+        """The wall-time histogram for pipeline stage *name* (ns)."""
+        return self.histogram(f"stage.{name}")
+
+    # -- switches ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        for counter in self.counters.values():
+            counter.value = 0
+        for gauge in self.gauges.values():
+            gauge.value = 0
+        for histogram in self.histograms.values():
+            histogram.zero()
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data image of every nonzero instrument."""
+        histograms: Dict[str, Dict[str, object]] = {}
+        for name, histogram in sorted(self.histograms.items()):
+            if histogram.count:
+                histograms[name] = {
+                    "bounds": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "total": histogram.total,
+                    "count": histogram.count,
+                    "min": histogram.min,
+                    "max": histogram.max,
+                }
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+                if counter.value
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self.gauges.items())
+                if gauge.value
+            },
+            "histograms": histograms,
+        }
+
+    def load_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Restore instruments from :meth:`snapshot` output (merging
+        into whatever already exists — used by the report CLI)."""
+        for name, value in dict(snapshot.get("counters", {})).items():
+            self.counter(name).value = value
+        for name, value in dict(snapshot.get("gauges", {})).items():
+            self.gauge(name).value = value
+        for name, data in dict(snapshot.get("histograms", {})).items():
+            histogram = self.histogram(name, tuple(data["bounds"]))
+            histogram.counts = list(data["counts"])
+            histogram.total = data["total"]
+            histogram.count = data["count"]
+            histogram.min = data["min"]
+            histogram.max = data["max"]
+
+
+#: The process-wide registry every subsystem records into.
+METRICS = MetricsRegistry()
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):
+    METRICS.enable()

@@ -1,0 +1,116 @@
+"""Render per-stage latency/count tables from a metrics registry.
+
+Consumed by ``tools/obs_report.py`` (CLI over a live run or archived
+``.obs.json`` snapshots) and by EXPERIMENTS.md's per-stage table.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+#: Stage-name prefix of the wall-time histograms.
+STAGE_PREFIX = "stage."
+
+
+class StageRow(NamedTuple):
+    """One rendered stage: counts plus latency summary (µs)."""
+
+    stage: str
+    count: int
+    total_ms: float
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    max_us: float
+
+
+def stage_rows(registry: MetricsRegistry) -> List[StageRow]:
+    """One row per nonzero ``stage.*`` histogram, sorted by total time."""
+    rows: List[StageRow] = []
+    for name, histogram in registry.histograms.items():
+        if not name.startswith(STAGE_PREFIX) or not histogram.count:
+            continue
+        rows.append(
+            StageRow(
+                stage=name[len(STAGE_PREFIX) :],
+                count=histogram.count,
+                total_ms=histogram.total / 1e6,
+                mean_us=histogram.mean / 1e3,
+                p50_us=histogram.quantile(0.50) / 1e3,
+                p95_us=histogram.quantile(0.95) / 1e3,
+                max_us=(histogram.max or 0) / 1e3,
+            )
+        )
+    rows.sort(key=lambda row: -row.total_ms)
+    return rows
+
+
+def render_stage_table(registry: MetricsRegistry) -> str:
+    """The per-stage latency/count table, fixed-width text."""
+    rows = stage_rows(registry)
+    if not rows:
+        return "no stage histograms recorded (is observability enabled?)"
+    headers = ("stage", "count", "total ms", "mean us", "p50 us", "p95 us", "max us")
+    cells: List[List[str]] = [list(headers)]
+    for row in rows:
+        cells.append(
+            [
+                row.stage,
+                f"{row.count:,}",
+                f"{row.total_ms:,.2f}",
+                f"{row.mean_us:,.1f}",
+                f"{row.p50_us:,.1f}",
+                f"{row.p95_us:,.1f}",
+                f"{row.max_us:,.1f}",
+            ]
+        )
+    widths = [max(len(line[i]) for line in cells) for i in range(len(headers))]
+    lines = []
+    for index, line in enumerate(cells):
+        padded = [
+            line[0].ljust(widths[0]),
+            *(cell.rjust(width) for cell, width in zip(line[1:], widths[1:])),
+        ]
+        lines.append("  ".join(padded).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_counter_table(
+    registry: MetricsRegistry, prefixes: Optional[List[str]] = None
+) -> str:
+    """Nonzero counters (optionally filtered by name prefix)."""
+    rows = []
+    for name, counter in sorted(registry.counters.items()):
+        if not counter.value:
+            continue
+        if prefixes and not any(name.startswith(prefix) for prefix in prefixes):
+            continue
+        rows.append((name, counter.value))
+    if not rows:
+        return "no counters recorded"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name.ljust(width)}  {value:,}" for name, value in rows)
+
+
+def render_markdown_stage_table(registry: MetricsRegistry) -> str:
+    """The same table as GitHub-flavored markdown (for EXPERIMENTS.md)."""
+    lines = [
+        "| stage | count | total ms | mean µs | p50 µs | p95 µs | max µs |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in stage_rows(registry):
+        lines.append(
+            f"| {row.stage} | {row.count:,} | {row.total_ms:,.2f} "
+            f"| {row.mean_us:,.1f} | {row.p50_us:,.1f} | {row.p95_us:,.1f} "
+            f"| {row.max_us:,.1f} |"
+        )
+    return "\n".join(lines)
+
+
+def instrumented_stage_count(registry: MetricsRegistry) -> int:
+    """How many distinct stages recorded at least one observation."""
+    return len(stage_rows(registry))

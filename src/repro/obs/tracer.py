@@ -1,0 +1,116 @@
+"""Span-based tracer with a bounded ring buffer.
+
+``with trace("link.resync.session"):`` times a region, records a
+:class:`Span` into a ring buffer of recent spans (oldest evicted
+first), and feeds the span's duration into the matching
+``stage.<name>`` histogram of the process registry — so the tracer and
+the profiling hooks are one mechanism, not two.
+
+Disabled cost: :func:`trace` returns a shared no-op context manager —
+no allocation, no clock read. The tracer is therefore safe to leave in
+coarse code paths permanently; the *hot* per-encode stages skip the
+context-manager protocol entirely and use inline
+``perf_counter_ns()`` pairs against pre-bound histograms (see
+repro/core/search.py for the pattern).
+
+Spans nest: the tracer keeps a stack so each span records its parent's
+name, which is enough to reconstruct the call tree from a JSONL dump
+(the simulator is single-threaded by design).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter_ns
+from typing import Deque, List, NamedTuple, Optional
+
+from repro.obs.registry import METRICS, MetricsRegistry
+
+#: Default ring-buffer capacity (recent spans kept for export).
+RING_CAPACITY = 4096
+
+
+class Span(NamedTuple):
+    """One completed traced region."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    parent: Optional[str]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span; closing it records into ring + stage histogram."""
+
+    __slots__ = ("tracer", "name", "start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_LiveSpan":
+        self.tracer._stack.append(self.name)
+        self.start_ns = perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        duration = perf_counter_ns() - self.start_ns
+        tracer = self.tracer
+        stack = tracer._stack
+        stack.pop()
+        parent = stack[-1] if stack else None
+        tracer.ring.append(Span(self.name, self.start_ns, duration, parent))
+        tracer.registry.stage(self.name).observe(duration)
+
+
+class Tracer:
+    """Ring buffer of recent spans, wired to a metrics registry."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        capacity: int = RING_CAPACITY,
+    ) -> None:
+        self.registry = registry if registry is not None else METRICS
+        self.ring: Deque[Span] = deque(maxlen=capacity)
+        self._stack: List[str] = []
+
+    def trace(self, name: str) -> object:
+        """A context manager timing *name* (no-op when disabled)."""
+        if not self.registry.enabled:
+            return _NOOP
+        return _LiveSpan(self, name)
+
+    def spans(self) -> List[Span]:
+        """Recent spans, oldest first."""
+        return list(self.ring)
+
+    def clear(self) -> None:
+        self.ring.clear()
+        self._stack.clear()
+
+
+#: The process-wide tracer, wired to :data:`repro.obs.registry.METRICS`.
+TRACER = Tracer()
+
+
+def trace(name: str) -> object:
+    """``with trace("search.prerank"): ...`` on the global tracer."""
+    if not METRICS.enabled:
+        return _NOOP
+    return _LiveSpan(TRACER, name)

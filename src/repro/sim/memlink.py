@@ -34,6 +34,8 @@ from repro.state.plan import DurabilityPolicy
 from repro.link.channel import LinkModel
 from repro.link.toggles import ToggleCounter
 from repro.core.payload import Payload, PayloadKind
+from repro.obs.registry import METRICS
+from repro.obs.tracer import trace
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.stream import SharedBackingStore, WorkloadModel
 
@@ -365,6 +367,10 @@ class MemLinkSimulation:
     _last_overhead_total: int = 0
 
     def run(self) -> MemLinkResult:
+        with trace("sim.run"):
+            return self._run()
+
+    def _run(self) -> MemLinkResult:
         config = self.config
         warmup = int(config.accesses * config.warmup_fraction)
         if self.cable is not None:
@@ -448,6 +454,16 @@ class MemLinkSimulation:
         if self._toggle_raw is not None:
             result.toggles_raw = self._toggle_raw.toggles
             result.toggles_compressed = self._toggle_comp.toggles
+        if METRICS.enabled:
+            # End-of-run roll-up: gauges mirror the run's headline
+            # numbers onto the same scrape surface as the stage
+            # histograms and link counters.
+            METRICS.gauge("sim.accesses").set(result.accesses)
+            METRICS.gauge("sim.transfers").set(result.transfers)
+            METRICS.gauge("sim.flits").set(result.flits)
+            METRICS.gauge("sim.raw_flits").set(result.raw_flits)
+            METRICS.gauge("sim.payload_bits").set(result.payload_bits)
+            METRICS.gauge("sim.raw_bits").set(result.raw_bits)
 
 
 def run_memlink(benchmark, config: Optional[MemLinkConfig] = None, **overrides) -> MemLinkResult:

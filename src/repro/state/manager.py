@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cache.setassoc import LineId
 from repro.core.errors import JournalReplayError, SnapshotCorruptionError
+from repro.obs.tracer import trace
 from repro.state.journal import JournalRecord, MetadataJournal
 from repro.state.plan import DurabilityPolicy
 from repro.state.snapshot import read_snapshot, write_snapshot
@@ -135,25 +136,26 @@ class EndpointStateManager:
         truncate the journal to the retained-snapshot window. Returns
         the new epoch. Must also be called after any *bulk* mutation
         that bypasses the journal (audit repair, resync rebuild)."""
-        sections = {
-            name: structure.snapshot_state()
-            for name, structure in self.structures.items()
-        }
-        self.epoch += 1
-        blob = write_snapshot(self.epoch, sections)
-        self._snapshots.append(blob)
-        del self._snapshots[: -self.policy.snapshots_kept]
-        if not self.journal.intact:
-            # The fresh snapshot supersedes the damaged region: rotate
-            # the journal here so one torn device does not condemn
-            # every future crash to the rebuild path.
-            self.journal.heal(self.epoch)
-        self.journal.truncate_before(
-            self.epoch - (self.policy.snapshots_kept - 1)
-        )
-        self._since_checkpoint = 0
-        self.stats["checkpoints"] += 1
-        self.stats["snapshot_bytes"] += len(blob)
+        with trace("state.snapshot"):
+            sections = {
+                name: structure.snapshot_state()
+                for name, structure in self.structures.items()
+            }
+            self.epoch += 1
+            blob = write_snapshot(self.epoch, sections)
+            self._snapshots.append(blob)
+            del self._snapshots[: -self.policy.snapshots_kept]
+            if not self.journal.intact:
+                # The fresh snapshot supersedes the damaged region:
+                # rotate the journal here so one torn device does not
+                # condemn every future crash to the rebuild path.
+                self.journal.heal(self.epoch)
+            self.journal.truncate_before(
+                self.epoch - (self.policy.snapshots_kept - 1)
+            )
+            self._since_checkpoint = 0
+            self.stats["checkpoints"] += 1
+            self.stats["snapshot_bytes"] += len(blob)
         return self.epoch
 
     def expected_progress(self) -> Tuple[int, int]:
@@ -169,6 +171,10 @@ class EndpointStateManager:
 
     def restore(self) -> RestoreResult:
         """Rebuild the live structures from snapshot + journal replay."""
+        with trace("state.restore"):
+            return self._restore()
+
+    def _restore(self) -> RestoreResult:
         result = RestoreResult()
         self.stats["restores"] += 1
         self.suspended = True
@@ -202,10 +208,11 @@ class EndpointStateManager:
             if records is not None and (
                 self.epoch - result.base_epoch <= self.policy.max_epoch_gap
             ):
-                for record in records:
-                    self._apply(record)
-                    result.records_replayed += 1
-                    result.replay_bits += record.bits
+                with trace("state.journal_replay"):
+                    for record in records:
+                        self._apply(record)
+                        result.records_replayed += 1
+                        result.replay_bits += record.bits
                 result.complete = True
                 self.stats["records_replayed"] += result.records_replayed
         finally:

@@ -1,0 +1,285 @@
+"""The observability layer's contracts.
+
+Three groups:
+
+- **cost discipline** — disabled means free: ``trace()`` hands back
+  one shared no-op object, instrumented code paths leave the registry
+  untouched, and the guarded-record pattern stays within a loose
+  timing ratio of the bare loop;
+- **round-trips** — JSONL traces, Prometheus text, and registry
+  snapshots all survive a dump/load cycle losslessly;
+- **determinism** — the breaker-clock injection point: two campaigns
+  with identical arguments and injected :class:`SimulatedClock`\\ s
+  report identical outcomes, and the default (no clock) keeps the
+  archived campaign numbers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.fault.campaign import SimulatedClock, run_campaign
+from repro.fault.plan import FaultPlan
+from repro.obs.export import (
+    bucket_counts,
+    dump_trace_jsonl,
+    load_trace_jsonl,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.registry import METRICS, Histogram, MetricsRegistry
+from repro.obs.report import instrumented_stage_count, render_stage_table, stage_rows
+from repro.obs.tracer import Tracer, trace
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def global_metrics():
+    """Enable the process registry for one test, then restore it."""
+    was_enabled = METRICS.enabled
+    METRICS.enable()
+    try:
+        yield METRICS
+    finally:
+        METRICS.reset()
+        if not was_enabled:
+            METRICS.disable()
+
+
+def fill_registry(reg: MetricsRegistry) -> None:
+    reg.counter("search.signature_hits").inc(41)
+    reg.counter("link.retries").inc(3)
+    reg.gauge("campaign.accesses").set(5000)
+    stage = reg.stage("search.prerank")
+    for value in (400, 900, 2_400, 30_000, 2_000_000_000):
+        stage.observe(value)
+
+
+# ======================================================================
+# Cost discipline: disabled means free
+# ======================================================================
+
+
+class TestDisabledCost:
+    def test_disabled_trace_is_shared_noop(self):
+        assert not METRICS.enabled
+        assert trace("search.prerank") is trace("link.resync")
+
+    def test_disabled_run_records_nothing(self):
+        """Driving real instrumented machinery with the registry off
+        must leave every instrument at zero."""
+        assert not METRICS.enabled
+        report = run_campaign(FaultPlan(seed=3), accesses=60, addresses=30)
+        assert report.accesses == 60
+        assert all(c.value == 0 for c in METRICS.counters.values())
+        assert all(g.value == 0 for g in METRICS.gauges.values())
+        assert all(h.count == 0 for h in METRICS.histograms.values())
+
+    def test_guarded_record_overhead_is_bounded(self):
+        """The call-site pattern (one attribute load + branch) must
+        stay within a loose ratio of the bare loop. Deliberately
+        generous — CI machines are noisy — while still catching a
+        regression to unconditional clock reads or allocation."""
+        reg = MetricsRegistry()
+        ctr = reg.counter("overhead.probe")
+        rounds = 200_000
+
+        def bare() -> int:
+            total = 0
+            for i in range(rounds):
+                total += i
+            return total
+
+        def guarded() -> int:
+            total = 0
+            enabled = reg.enabled
+            for i in range(rounds):
+                total += i
+                if enabled:
+                    ctr.inc()
+            return total
+
+        assert not reg.enabled
+        bare()  # warm both paths before timing
+        guarded()
+        t0 = time.perf_counter()
+        bare()
+        t_bare = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        guarded()
+        t_guarded = time.perf_counter() - t0
+        assert t_guarded < max(t_bare * 3.0, t_bare + 0.05)
+
+    def test_reset_preserves_instrument_identity(self, registry):
+        ctr = registry.counter("a.b")
+        hist = registry.stage("c")
+        ctr.inc(7)
+        hist.observe(1000)
+        registry.reset()
+        assert registry.counter("a.b") is ctr and ctr.value == 0
+        assert registry.stage("c") is hist and hist.count == 0
+
+
+# ======================================================================
+# Tracer
+# ======================================================================
+
+
+class TestTracer:
+    def test_spans_nest_and_feed_stage_histograms(self, registry):
+        registry.enable()
+        tracer = Tracer(registry)
+        with tracer.trace("outer"):
+            with tracer.trace("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert (inner.name, inner.parent) == ("inner", "outer")
+        assert (outer.name, outer.parent) == ("outer", None)
+        assert registry.stage("inner").count == 1
+        assert registry.stage("outer").count == 1
+
+    def test_ring_buffer_is_bounded(self, registry):
+        registry.enable()
+        tracer = Tracer(registry, capacity=4)
+        for i in range(10):
+            with tracer.trace(f"s{i}"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_global_trace_records_when_enabled(self, global_metrics):
+        from repro.obs.tracer import TRACER
+
+        TRACER.clear()
+        with trace("obs.test.region"):
+            pass
+        assert TRACER.spans()[-1].name == "obs.test.region"
+        assert global_metrics.stage("obs.test.region").count == 1
+
+
+# ======================================================================
+# Round-trips
+# ======================================================================
+
+
+class TestRoundTrips:
+    def test_jsonl_trace_round_trip(self, registry):
+        registry.enable()
+        tracer = Tracer(registry)
+        with tracer.trace("a"):
+            with tracer.trace("b"):
+                pass
+        stream = io.StringIO()
+        assert dump_trace_jsonl(tracer.spans(), stream) == 2
+        stream.seek(0)
+        assert load_trace_jsonl(stream) == tracer.spans()
+
+    def test_prometheus_round_trip(self, registry):
+        fill_registry(registry)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["search_signature_hits"] == {"type": "counter", "value": 41}
+        assert parsed["campaign_accesses"] == {"type": "gauge", "value": 5000}
+        hist = parsed[prometheus_name("stage.search.prerank")]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 5
+        assert hist["sum"] == registry.stage("search.prerank").total
+        assert hist["buckets"][-1][0] is None  # +Inf last
+        assert bucket_counts(hist["buckets"]) == registry.stage(
+            "search.prerank"
+        ).counts
+
+    def test_registry_snapshot_round_trip(self, registry):
+        fill_registry(registry)
+        image = json.loads(json.dumps(registry.snapshot()))
+        restored = MetricsRegistry()
+        restored.load_snapshot(image)
+        assert render_prometheus(restored) == render_prometheus(registry)
+
+    def test_snapshot_skips_zero_instruments(self, registry):
+        registry.counter("never.touched")
+        registry.stage("never.run")
+        fill_registry(registry)
+        image = registry.snapshot()
+        assert "never.touched" not in image["counters"]
+        assert "stage.never.run" not in image["histograms"]
+
+
+# ======================================================================
+# Report rendering
+# ======================================================================
+
+
+class TestReport:
+    def test_stage_rows_sorted_by_total(self, registry):
+        registry.stage("cheap").observe(1_000)
+        for _ in range(10):
+            registry.stage("hot").observe(600_000)
+        rows = stage_rows(registry)
+        assert [row.stage for row in rows] == ["hot", "cheap"]
+        assert rows[0].count == 10
+        assert instrumented_stage_count(registry) == 2
+
+    def test_stage_table_renders_header_and_rows(self, registry):
+        registry.stage("search.cbv").observe(40_000)
+        table = render_stage_table(registry)
+        lines = table.splitlines()
+        assert lines[0].startswith("stage")
+        assert any(line.startswith("search.cbv") for line in lines)
+
+    def test_histogram_quantile_is_bucket_edge(self):
+        hist = Histogram("q", bounds=(10, 20, 30))
+        for value in (5, 15, 25):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 20.0
+        assert hist.quantile(1.0) == 30.0
+
+
+# ======================================================================
+# Breaker-clock determinism
+# ======================================================================
+
+
+class TestBreakerClock:
+    PLAN = FaultPlan.uniform(0.02, seed=11)
+
+    def _run(self, clock):
+        report = run_campaign(
+            self.PLAN, accesses=400, addresses=60, seed=5, breaker_clock=clock
+        )
+        return (
+            report.accesses,
+            report.transfers,
+            report.faults_injected,
+            report.link_failures,
+            report.silent_corruptions,
+            report.final_repairs,
+            report.health,
+        )
+
+    def test_injected_clock_is_deterministic(self):
+        first = self._run(SimulatedClock())
+        second = self._run(SimulatedClock())
+        assert first == second
+
+    def test_clock_ticks_once_per_access(self):
+        clock = SimulatedClock()
+        report = run_campaign(
+            self.PLAN, accesses=150, addresses=60, seed=5, breaker_clock=clock
+        )
+        assert clock.now == report.accesses == 150
+
+    def test_default_clock_unchanged(self):
+        """No injected clock → the breaker keeps its transfer-event
+        timebase; the campaign still runs to completion and audits."""
+        report = run_campaign(self.PLAN, accesses=150, addresses=60, seed=5)
+        assert report.accesses == 150
+        assert report.silent_corruptions == 0
+        assert report.final_audit_ok

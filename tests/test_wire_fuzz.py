@@ -137,6 +137,29 @@ class TestFrameFuzz:
             assert decoder.decompress(decoded.block) == line
 
 
+class TestBdiUnsignedBase:
+    """Regression: BDI's split/join works in the *unsigned* domain
+    (``fmt.upper()``), so a wire decoder that sign-extends the base
+    corrupts any base with the top bit set — e.g. a lone 0x80000000
+    word makes the 8-byte base 2**63, which sign-extension turns into
+    -2**63 and ``_join`` then rejects with ``struct.error``."""
+
+    @pytest.mark.parametrize(
+        "words",
+        [
+            [0] * 15 + [0x80000000],  # hypothesis' original falsifier
+            [0x80000000] * 16,  # every delta rides the top-bit base
+            [0xFFFFFFFF] * 8 + [0xFFFFFF00] * 8,  # high base, negative deltas
+        ],
+    )
+    def test_top_bit_base_roundtrips(self, words):
+        __, frame, bits = build_frame("bdi", words, 0)
+        __, decoded = decode_frame(frame, bits, "bdi", FMT, expected_seq=0)
+        decoder = make_engine("bdi")
+        decoder.reset()
+        assert decoder.decompress(decoded.block) == words_to_bytes(words)
+
+
 class TestBarePayloadFuzz:
     @settings(max_examples=200, deadline=None)
     @given(

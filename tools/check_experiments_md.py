@@ -1,20 +1,42 @@
-"""Verify EXPERIMENTS.md's quoted summary numbers against the
-archived benchmark outputs (benchmarks/output/*.txt).
+"""Verify EXPERIMENTS.md's quoted numbers against the archived
+benchmark outputs (benchmarks/output/*.txt).
 
-Prints each archived summary line so quoted numbers can be refreshed,
-and enforces the invariants EXPERIMENTS.md states about them (exit
-code 1 on violation). Currently checked:
+Two layers of checking (exit code 1 on any violation):
 
-- resilience — the robustness contract: zero silent corruptions over
-  the whole sweep, and the breaker both trips and re-arms at the
-  highest fault rate.
-- crash_recovery — the crash-consistency contract: ≥ 1000 kill points
-  with zero silent corruptions, torn snapshots actually detected, the
-  replay path measurably cheaper than rebuild, and recovery time
-  bounded.
+1. **Invariants** — the contracts EXPERIMENTS.md states about the
+   archived summary lines:
+
+   - resilience — zero silent corruptions over the whole sweep, and
+     the breaker both trips and re-arms at the highest fault rate.
+   - crash_recovery — ≥ 1000 kill points with zero silent
+     corruptions, torn snapshots actually detected, the replay path
+     measurably cheaper than rebuild, and recovery time bounded.
+
+2. **Drift** — the quoted *tables*: every deterministic (pinned-seed)
+   row EXPERIMENTS.md copies from ``resilience.txt`` and
+   ``crash_recovery.txt`` must still match the archived file, exact
+   for integers and within 1% for floats (the prose rounds). Rows the
+   archives don't carry (``—`` cells) are skipped, and
+   machine-dependent tables (hot-path rates, the per-stage latency
+   profile) are deliberately *not* drift-checked — only tables whose
+   headers match the deterministic campaigns are.
+
+Run from the repo root (CI does) or anywhere — paths are anchored to
+this file.
 """
+
 import pathlib
+import re
 import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_DIR = ROOT / "benchmarks" / "output"
+EXPERIMENTS_MD = ROOT / "EXPERIMENTS.md"
+
+
+# ======================================================================
+# Layer 1: summary invariants
+# ======================================================================
 
 
 def parse_summary(line):
@@ -60,21 +82,224 @@ CHECKS = {
     "crash_recovery": check_crash_recovery,
 }
 
-failures = []
-for path in sorted(pathlib.Path("benchmarks/output").glob("*.txt")):
-    text = path.read_text().splitlines()
-    summaries = [l for l in text if l.startswith("summary:")]
-    print(f"== {path.stem}")
-    for line in summaries:
-        print("  ", line)
-    check = CHECKS.get(path.stem)
-    if check:
-        for line in summaries:
-            for problem in check(parse_summary(line)):
-                failures.append(f"{path.stem}: {problem}")
-        if not summaries:
-            failures.append(f"{path.stem}: no summary line to check")
 
-for failure in failures:
-    print("FAIL", failure)
-sys.exit(1 if failures else 0)
+# ======================================================================
+# Layer 2: table drift (EXPERIMENTS.md vs archived outputs)
+# ======================================================================
+
+
+def parse_cell(text):
+    """A table cell -> number, (number, number) pair, None, or str.
+
+    Handles the prose decorations: thousands commas, trailing x/%,
+    bold markers, em-dash for "not measured", and 'a / b' pairs.
+    """
+    text = text.strip().strip("*").strip()
+    if text in ("—", "-", ""):
+        return None
+    if "/" in text and not re.search(r"[a-zA-Z]", text):
+        parts = [parse_cell(part) for part in text.split("/")]
+        if all(isinstance(part, (int, float)) for part in parts):
+            return tuple(parts)
+    cleaned = text.replace(",", "").rstrip("×x%").strip()
+    try:
+        value = float(cleaned)
+        return int(value) if value.is_integer() else value
+    except ValueError:
+        return text
+
+
+def parse_markdown_tables(text):
+    """All pipe tables in *text* as (headers, rows-of-parsed-cells)."""
+    tables = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        is_rule = (
+            i + 1 < len(lines)
+            and "-" in lines[i + 1]
+            and set(lines[i + 1].replace("|", "").replace(" ", "")) <= {"-", ":"}
+        )
+        if line.startswith("|") and is_rule:
+            headers = [cell.strip().lower() for cell in line.strip("|").split("|")]
+            rows = []
+            i += 2
+            while i < len(lines) and lines[i].strip().startswith("|"):
+                cells = [parse_cell(c) for c in lines[i].strip().strip("|").split("|")]
+                rows.append(cells)
+                i += 1
+            tables.append((headers, rows))
+        else:
+            i += 1
+    return tables
+
+
+def parse_archived_table(path):
+    """A benchmarks/output/*.txt table -> list of per-row dicts.
+
+    Shape: title line, whitespace-aligned header, a dashes rule, data
+    rows, then summary/paper footers. Column values contain no spaces.
+    """
+    lines = path.read_text().splitlines()
+    for index, line in enumerate(lines):
+        if line.strip() and set(line.replace(" ", "")) == {"-"} and index > 0:
+            headers = lines[index - 1].split()
+            rows = []
+            for row_line in lines[index + 1 :]:
+                if not row_line.strip() or row_line.startswith(("summary:", "paper:")):
+                    break
+                values = [parse_cell(v) for v in row_line.split()]
+                rows.append(dict(zip(headers, values)))
+            return rows
+    return []
+
+
+def values_match(quoted, archived):
+    """Exact for ints; floats within 1% (prose rounds); pairs pairwise."""
+    if quoted is None or archived is None:
+        return True  # '—' cells: the archive doesn't carry the figure
+    if isinstance(quoted, tuple) or isinstance(archived, tuple):
+        if not (isinstance(quoted, tuple) and isinstance(archived, tuple)):
+            return False
+        return len(quoted) == len(archived) and all(
+            values_match(q, a) for q, a in zip(quoted, archived)
+        )
+    if isinstance(quoted, str) or isinstance(archived, str):
+        return str(quoted) == str(archived)
+    if isinstance(quoted, int) and isinstance(archived, int):
+        return quoted == archived
+    return abs(quoted - archived) <= max(0.01 * abs(archived), 1e-9)
+
+
+#: markdown header (lowercased) -> archived column(s). A tuple maps an
+#: 'a / b' cell onto two archived columns.
+RESILIENCE_COLUMNS = {
+    "faults": "faults",
+    "nacks": "nacks",
+    "retries": "retries",
+    "raw fallbacks": "raw_fallbacks",
+    "trips / re-arms": ("breaker_trips", "breaker_rearms"),
+    "silent": "silent_corruptions",
+    "eff. ratio": "eff_ratio",
+    "overhead": "overhead_pct",
+}
+
+CRASH_COLUMNS = {
+    "kills": "kills",
+    "replays": "replays",
+    "rebuilds": "rebuilds",
+    "torn snapshots detected": "snap_corrupt",
+    "mean replay bits": "mean_replay_bits",
+    "mean rebuild bits": "mean_rebuild_bits",
+    "traffic/crash": "traffic/crash",
+    "silent": "silent",
+}
+
+
+def check_table_drift(
+    name, headers, rows, archived_rows, key_header, key_column, columns
+):
+    """Compare one quoted markdown table against its archived rows.
+
+    Rows are matched on *key_header*/*key_column* by string prefix
+    (the prose elaborates scenario names — 'memlink (omnetpp, ...)'
+    vs the archive's 'memlink:omnetpp')."""
+    key_index = headers.index(key_header)
+    for cells in rows:
+        quoted = cells[key_index]
+        match = None
+        for archived in archived_rows:
+            candidate = archived.get(key_column)
+            if isinstance(quoted, (int, float)) or isinstance(candidate, (int, float)):
+                if values_match(quoted, candidate):
+                    match = archived
+                    break
+                continue
+            quoted_key = str(quoted).split()[0].split(":")[0].split("(")[0]
+            archived_key = str(candidate).split(":")[0]
+            if archived_key.startswith(quoted_key) or quoted_key.startswith(
+                archived_key
+            ):
+                match = archived
+                break
+        if match is None:
+            yield f"{name}: quoted row {cells[key_index]!r} not in the archive"
+            continue
+        for header, column in columns.items():
+            if header not in headers:
+                continue
+            quoted = cells[headers.index(header)]
+            if isinstance(column, tuple):
+                archived_value = tuple(match.get(part) for part in column)
+            else:
+                archived_value = match.get(column)
+            if not values_match(quoted, archived_value):
+                yield (
+                    f"{name} row {cells[key_index]!r}: {header} quoted as "
+                    f"{quoted!r} but archived as {archived_value!r}"
+                )
+
+
+def drift_failures():
+    if not EXPERIMENTS_MD.exists():
+        return
+    tables = parse_markdown_tables(EXPERIMENTS_MD.read_text())
+    resilience = OUTPUT_DIR / "resilience.txt"
+    crash = OUTPUT_DIR / "crash_recovery.txt"
+    for headers, rows in tables:
+        if "fault rate" in headers and "trips / re-arms" in headers:
+            if not resilience.exists():
+                yield "resilience table quoted but resilience.txt not archived"
+                continue
+            yield from check_table_drift(
+                "resilience",
+                headers,
+                rows,
+                parse_archived_table(resilience),
+                "fault rate",
+                "fault_rate",
+                RESILIENCE_COLUMNS,
+            )
+        elif "scenario" in headers and "kills" in headers:
+            if not crash.exists():
+                yield "crash table quoted but crash_recovery.txt not archived"
+                continue
+            yield from check_table_drift(
+                "crash_recovery",
+                headers,
+                rows,
+                parse_archived_table(crash),
+                "scenario",
+                "scenario",
+                CRASH_COLUMNS,
+            )
+
+
+def main():
+    failures = []
+    for path in sorted(OUTPUT_DIR.glob("*.txt")):
+        text = path.read_text().splitlines()
+        summaries = [line for line in text if line.startswith("summary:")]
+        print(f"== {path.stem}")
+        for line in summaries:
+            print("  ", line)
+        check = CHECKS.get(path.stem)
+        if check:
+            for line in summaries:
+                for problem in check(parse_summary(line)):
+                    failures.append(f"{path.stem}: {problem}")
+            if not summaries:
+                failures.append(f"{path.stem}: no summary line to check")
+
+    drift = list(drift_failures())
+    failures.extend(drift)
+    print(f"== drift: {len(drift)} EXPERIMENTS.md table mismatches")
+
+    for failure in failures:
+        print("FAIL", failure)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
