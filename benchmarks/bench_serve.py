@@ -1,0 +1,12 @@
+"""Serving sweep — the link service under concurrent client load."""
+
+from conftest import run_experiment
+from repro.experiments import serving
+
+
+def test_serving(benchmark, scale):
+    result = run_experiment(benchmark, serving.run, "serving", scale=scale)
+    assert result.summary["silent_corruptions"] == 0
+    assert result.summary["backpressure_events"] > 0
+    assert result.summary["max_sessions"] >= 16
+    assert result.summary["drained_clean"] == 1

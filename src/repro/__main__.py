@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "control": ("repro.experiments.control", True),
     "ablations": ("repro.experiments.ablations", True),
     "resilience": ("repro.experiments.resilience", True),
+    "serving": ("repro.experiments.serving", False),
 }
 
 

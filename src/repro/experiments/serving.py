@@ -1,0 +1,135 @@
+"""Serving sweep — the link service under concurrent client load.
+
+Not a figure from the paper: CABLE's evaluation is trace-driven and
+in-process. This sweep runs the same verified endpoints behind the
+asyncio link service (`repro/serve/`) and asks the deployment
+questions: does the protocol hold up over real byte streams with many
+concurrent sessions, is backpressure observable (bounded queues, no
+silent buffering), does injected wire damage stay loud, and does the
+graceful drain end with every per-session audit clean?
+
+Per client count, N concurrent clients replay deterministic trace
+streams over in-process duplex pipes (same handler and protocol as
+TCP, no sockets — so the row's deterministic columns are
+machine-independent). The single-client row runs with a deliberately
+tiny admission queue and an oversized client window, guaranteeing the
+backpressure path (RETRY + client backoff) is exercised on every run.
+
+Reported per row: verified frames, NACK/retransmit traffic under a
+fixed wire-fault rate, observed backpressure events, silent
+corruptions (must be zero), and client-side p50/p99 latency with
+throughput. Latency and throughput columns are machine-dependent;
+``clients/accesses/frames/nacks/silent`` are deterministic and
+drift-checked against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+from repro.experiments.base import ExperimentResult, resolve_scale
+
+EXPERIMENT_ID = "Serving"
+
+#: Concurrent client counts swept (x-axis).
+CLIENT_COUNTS = (1, 4, 16)
+
+#: Wire fault rate armed for every row (per-session reseeded), so the
+#: NACK/retransmit path carries real traffic at every client count.
+FAULT_RATE = 0.02
+
+SEED = 0xCAB1E
+
+
+def _row_config(clients: int):
+    from repro.fault.plan import FaultPlan
+    from repro.serve.session import ServeConfig
+
+    faults = FaultPlan.uniform(FAULT_RATE, seed=SEED)
+    if clients == 1:
+        # Tiny queue + oversized window: the client's burst overruns
+        # admission control by construction, so this row demonstrates
+        # bounded queues and RETRY/backoff on every run.
+        return ServeConfig(queue_depth=2, faults=faults), 16
+    return ServeConfig(queue_depth=8, faults=faults), 8
+
+
+async def _run_row(clients: int, per_client: int):
+    from repro.serve.loadgen import run_loadgen
+    from repro.serve.server import LinkService
+
+    config, window = _row_config(clients)
+    service = LinkService(config)
+    report = await run_loadgen(
+        clients=clients,
+        accesses=per_client,
+        service=service,
+        seed=SEED,
+        window=window,
+    )
+    return report
+
+
+def run(
+    scale="default", client_counts: Optional[Sequence[int]] = None
+) -> ExperimentResult:
+    client_counts = tuple(client_counts or CLIENT_COUNTS)
+    preset = resolve_scale(scale)
+    per_client = max(24, preset.accesses // 50)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Link service under concurrent client load",
+        headers=[
+            "clients",
+            "accesses",
+            "frames",
+            "nacks",
+            "backpressure",
+            "silent",
+            "p50_ms",
+            "p99_ms",
+            "lines_per_s",
+        ],
+        paper_claim=(
+            "Beyond the paper: the verified endpoints survive a real "
+            "transport — bounded per-session queues surface overflow as "
+            "observable backpressure, injected wire damage is repaired "
+            "via NACK/retransmit with zero silent corruptions, and the "
+            "graceful drain ends with every session audit clean"
+        ),
+    )
+    peak = total_frames = total_backpressure = total_silent = 0
+    all_clean = True
+    for clients in client_counts:
+        report = asyncio.run(_run_row(clients, per_client))
+        result.rows.append(
+            [
+                clients,
+                report.accesses,
+                report.frames,
+                report.nacks,
+                report.backpressure,
+                report.silent_corruptions,
+                report.p50_ms,
+                report.p99_ms,
+                report.lines_per_s,
+            ]
+        )
+        peak = max(peak, report.sessions_peak)
+        total_frames += report.frames
+        total_backpressure += report.backpressure
+        total_silent += report.silent_corruptions
+        all_clean = all_clean and report.ok
+    result.summary = {
+        "max_sessions": peak,
+        "total_frames": total_frames,
+        "backpressure_events": total_backpressure,
+        "silent_corruptions": total_silent,
+        "drained_clean": int(all_clean),
+    }
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -664,6 +664,122 @@ def decode_frame(
 
 
 # ======================================================================
+# Stream records: length-prefixed framing for byte-stream transports
+# ======================================================================
+#
+# Everything above speaks (data, bit_count) pairs — fine for the
+# in-process link, useless on a TCP socket where the receiver sees an
+# arbitrary chunking of the byte stream and must find frame boundaries
+# itself. A *stream record* wraps one bit-frame with a fixed header so
+# an incremental decoder can reassemble frames across chunk
+# boundaries: ``magic(1) | channel(1) | bit_count(4, big-endian) |
+# ceil(bit_count / 8) payload bytes``. The channel byte is free for
+# the transport's multiplexing (repro.serve uses it as the message
+# kind); the payload is exactly what :meth:`BitWriter.getvalue`
+# produced for ``bit_count`` bits.
+
+#: First byte of every stream record — a cheap desync check on top of
+#: whatever integrity the payload itself carries (DATA frames are
+#: CRC-guarded; a magic mismatch means the stream lost framing and the
+#: connection is unrecoverable).
+STREAM_RECORD_MAGIC = 0xC3
+
+#: Fixed stream-record header size in bytes.
+STREAM_HEADER_BYTES = 6
+
+#: Default reassembly bound. Generous for 64-byte lines (a raw frame
+#: is ~70 bytes framed); anything claiming more is corruption, not a
+#: big frame, and must not grow the buffer without limit.
+MAX_STREAM_FRAME_BYTES = 4096
+
+
+def encode_stream_record(channel: int, data: bytes, bit_count: int) -> bytes:
+    """Wrap one bit-frame for a byte-stream transport."""
+    if not 0 <= channel <= 0xFF:
+        raise ValueError(f"stream channel {channel} does not fit one byte")
+    nbytes = (bit_count + 7) // 8
+    if len(data) < nbytes:
+        raise ValueError(
+            f"stream record claims {bit_count} bits but carries {len(data)} bytes"
+        )
+    return (
+        bytes((STREAM_RECORD_MAGIC, channel))
+        + bit_count.to_bytes(4, "big")
+        + data[:nbytes]
+    )
+
+
+class FrameDecoder:
+    """Incremental stream-record reassembler with a bounded buffer.
+
+    Feed it whatever chunks the transport delivers — half a header,
+    three frames and a tail, one byte at a time — and it yields every
+    *complete* record as ``(channel, payload bytes, bit_count)`` while
+    buffering at most one partial frame (bounded by
+    ``max_frame_bytes``). Damage is typed, never silent:
+
+    - a wrong magic byte raises :class:`CorruptPayloadError` (stream
+      desync — frame boundaries are lost for good);
+    - a header claiming more than ``max_frame_bytes`` raises
+      :class:`CorruptPayloadError` before any payload is buffered, so
+      corrupt lengths cannot balloon memory;
+    - :meth:`close` with a partial record still buffered raises
+      :class:`TruncatedPayloadError` (the peer died mid-frame).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_STREAM_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held for the next (incomplete) record."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> List[Tuple[int, bytes, int]]:
+        """Consume one transport chunk; return every completed record."""
+        self._buffer.extend(chunk)
+        records: List[Tuple[int, bytes, int]] = []
+        buffer = self._buffer
+        offset = 0
+        available = len(buffer)
+        while available - offset >= STREAM_HEADER_BYTES:
+            if buffer[offset] != STREAM_RECORD_MAGIC:
+                raise CorruptPayloadError(
+                    f"stream record magic {buffer[offset]:#04x} != "
+                    f"{STREAM_RECORD_MAGIC:#04x} (framing lost)"
+                )
+            channel = buffer[offset + 1]
+            bit_count = int.from_bytes(buffer[offset + 2 : offset + 6], "big")
+            nbytes = (bit_count + 7) // 8
+            if nbytes > self.max_frame_bytes:
+                raise CorruptPayloadError(
+                    f"stream record claims {nbytes} bytes, "
+                    f"bound is {self.max_frame_bytes}"
+                )
+            if available - offset - STREAM_HEADER_BYTES < nbytes:
+                break  # partial payload: wait for the next chunk
+            start = offset + STREAM_HEADER_BYTES
+            records.append((channel, bytes(buffer[start : start + nbytes]), bit_count))
+            self.frames_decoded += 1
+            offset = start + nbytes
+        if offset:
+            del buffer[:offset]
+        return records
+
+    def close(self) -> None:
+        """Declare end-of-stream; loud if a record was cut mid-flight."""
+        if self._buffer:
+            raise TruncatedPayloadError(
+                f"stream ended with {len(self._buffer)} bytes of a "
+                "partial record buffered"
+            )
+
+
+# ======================================================================
 # Resync handshake frames: HELLO / EPOCH  (crash recovery)
 # ======================================================================
 

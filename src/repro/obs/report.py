@@ -1,14 +1,19 @@
 """Render per-stage latency/count tables from a metrics registry.
 
-Consumed by ``tools/obs_report.py`` (CLI over a live run or archived
-``.obs.json`` snapshots) and by EXPERIMENTS.md's per-stage table.
+Consumed by the ``repro-obs-report`` console script (CLI over a live
+run or archived ``.obs.json`` snapshots — ``tools/obs_report.py`` is
+a compatibility shim over :func:`main`) and by EXPERIMENTS.md's
+per-stage table.
 """
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+import argparse
+import json
+import pathlib
+from typing import Iterable, List, NamedTuple, Optional
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import METRICS, MetricsRegistry
 
 #: Stage-name prefix of the wall-time histograms.
 STAGE_PREFIX = "stage."
@@ -114,3 +119,132 @@ def render_markdown_stage_table(registry: MetricsRegistry) -> str:
 def instrumented_stage_count(registry: MetricsRegistry) -> int:
     """How many distinct stages recorded at least one observation."""
     return len(stage_rows(registry))
+
+
+# ----------------------------------------------------------------------
+# CLI (the ``repro-obs-report`` console script)
+# ----------------------------------------------------------------------
+
+#: Counter prefixes worth showing alongside the stage table.
+COUNTER_PREFIXES = [
+    "search.",
+    "encode.",
+    "decode.",
+    "signature.",
+    "link.",
+    "hashtable.",
+    "serve.",
+]
+
+
+def run_demo(accesses: int, seed: int) -> None:
+    """Drive enough machinery that every instrumented stage fires."""
+    from repro.fault.campaign import (
+        SimulatedClock,
+        run_campaign,
+        run_crash_campaign,
+    )
+    from repro.fault.plan import FaultPlan
+    from repro.state.plan import DurabilityPolicy
+
+    METRICS.enable()
+    # A moderately hostile link: enough wire faults that the NACK /
+    # retransmit and resync stages record real work, not zeros.
+    plan = FaultPlan.uniform(0.01, seed=seed)
+    campaign = run_campaign(
+        plan,
+        accesses=accesses,
+        seed=seed + 1,
+        breaker_clock=SimulatedClock(),
+    )
+    print(
+        f"campaign: {campaign.accesses:,} accesses, "
+        f"{campaign.faults_injected:,} faults injected, "
+        f"{campaign.link_failures:,} loud failures, "
+        f"{campaign.silent_corruptions:,} silent corruptions"
+    )
+    # A short durable crash campaign lights up the state.* stages
+    # (snapshot, restore, journal replay, crash recovery).
+    crash_plan = FaultPlan(seed=seed, home_crash_rate=0.002, remote_crash_rate=0.002)
+    crash = run_crash_campaign(
+        crash_plan,
+        durability=DurabilityPolicy(),
+        accesses=max(1000, accesses // 5),
+        seed=seed + 2,
+        breaker_clock=SimulatedClock(),
+    )
+    print(
+        f"crash campaign: {crash.accesses:,} accesses, "
+        f"{crash.kill_points:,} kill points, "
+        f"{crash.silent_corruptions:,} silent corruptions"
+    )
+
+
+def load_snapshots(registry: MetricsRegistry, paths: Iterable[str]) -> None:
+    for path in paths:
+        registry.load_snapshot(json.loads(pathlib.Path(path).read_text()))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs.export import render_prometheus
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-report",
+        description="Render per-stage latency/count tables from the "
+        "metrics registry.",
+    )
+    parser.add_argument(
+        "snapshots",
+        nargs="*",
+        help="archived .obs.json registry snapshots to merge and render",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a live instrumented campaign instead of loading snapshots",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=5000, help="demo campaign accesses"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="demo campaign seed")
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the stage table as GitHub-flavored markdown",
+    )
+    parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="also print the nonzero event counters",
+    )
+    parser.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="additionally write the registry in Prometheus text format",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.demo and not args.snapshots:
+        parser.error("give --demo or at least one .obs.json snapshot")
+
+    registry = METRICS
+    if args.demo:
+        run_demo(args.accesses, args.seed)
+    else:
+        registry = MetricsRegistry()
+    load_snapshots(registry, args.snapshots)
+
+    print()
+    if args.markdown:
+        print(render_markdown_stage_table(registry))
+    else:
+        print(render_stage_table(registry))
+    stages = instrumented_stage_count(registry)
+    print(f"\n{stages} instrumented stages recorded observations")
+    if args.counters:
+        print()
+        print(render_counter_table(registry, COUNTER_PREFIXES))
+    if args.prometheus:
+        pathlib.Path(args.prometheus).write_text(render_prometheus(registry))
+        print(f"wrote Prometheus text to {args.prometheus}")
+    return 0

@@ -1,0 +1,464 @@
+"""Sessions: one verified CABLE link pair per connected client.
+
+A :class:`Session` owns the full home+remote endpoint state for one
+client — an :class:`~repro.core.encoder.CableLinkPair` with the
+byte-level checker armed (``verify=True``) and durable epoch state
+(:class:`~repro.state.manager.EndpointStateManager` via
+``config.durability``). The socket carries the *actual encoded
+frames*: every transfer the pair produces is re-encoded with
+:func:`repro.link.wire.encode_frame` and shipped to the client, which
+performs the structural decode (CRC, bit-exact token parse, sequence
+cross-check) on its side of the wire.
+
+Admission control is explicit and bounded: accesses land in a
+per-session :class:`asyncio.Queue` of fixed depth; overflow is
+answered with a RETRY message carrying a backoff hint — the server
+never buffers without bound. Retransmission state is equally bounded
+(``retransmit_window`` frames per session, oldest evicted first).
+
+:class:`SessionManager` multiplexes many sessions over one service:
+open/resume with the HELLO/EPOCH handshake (a resume whose epoch
+disagrees with the durable state's
+:meth:`~repro.state.manager.EndpointStateManager.expected_progress`
+triggers a §III-F resync before any new frame is trusted), and the
+graceful drain — stop admitting, flush queues and writers, checkpoint
+durable state, audit every pair.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair
+from repro.core.errors import DecompressionError, LinkRecoveryError
+from repro.fault.injectors import ChannelFaultInjector, WireFaultInjector
+from repro.fault.plan import FaultPlan
+from repro.link.wire import encode_frame, wire_format_for
+from repro.obs.registry import METRICS
+from repro.serve import protocol
+from repro.serve.transport import StreamSender
+from repro.state.plan import DurabilityPolicy
+
+_CTR_OPENED = METRICS.counter("serve.sessions_opened")
+_CTR_RESUMED = METRICS.counter("serve.sessions_resumed")
+_CTR_RESYNCS = METRICS.counter("serve.session_resyncs")
+_CTR_ACCESSES = METRICS.counter("serve.accesses")
+_CTR_FRAMES = METRICS.counter("serve.frames_sent")
+_CTR_RETRANS = METRICS.counter("serve.retransmits")
+_CTR_NACKS = METRICS.counter("serve.nacks_received")
+_CTR_BACKPRESSURE = METRICS.counter("serve.backpressure_events")
+_CTR_DROPPED = METRICS.counter("serve.frames_dropped")
+_GAUGE_ACTIVE = METRICS.gauge("serve.sessions_active")
+_HIST_QUEUE = METRICS.histogram(
+    "serve.queue_depth", bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128)
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one link service instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the bound port is reported back)
+    #: Hard cap on concurrently attached sessions.
+    max_sessions: int = 64
+    #: Bound of each session's pending-access queue; overflow → RETRY.
+    queue_depth: int = 32
+    #: Backoff hint shipped with RETRY, milliseconds.
+    retry_after_ms: int = 2
+    #: Writer coalescing window (seconds); 0 disables batching.
+    flush_interval: float = 0.002
+    #: Flush early once a batch reaches this size.
+    max_batch_bytes: int = 8192
+    #: Frames kept per session for NACK retransmission.
+    retransmit_window: int = 64
+    #: Home / remote cache sizes per session (campaign geometry: small
+    #: enough that reference compression and evictions both engage).
+    home_kb: int = 16
+    remote_kb: int = 4
+    #: Wire faults applied to the *shipped copy* of outgoing frames
+    #: (the in-process delivery stays clean; the client's structural
+    #: decode catches the damage and NACKs). Reseeded per session.
+    faults: Optional[FaultPlan] = None
+    #: CRC width of shipped frames and handshake frames.
+    crc_bits: int = 16
+    #: Per-session durability (epoch/journal state for resume).
+    durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
+
+
+def synthetic_line(tag: int, addr: int, line_bytes: int = 64) -> bytes:
+    """Deterministic backing-store content for (session tag, addr).
+
+    Five archetype lines stamped with the address — the same shape the
+    fault campaigns use, so reference compression engages without the
+    server needing any knowledge of the client's workload model.
+    """
+    rng = random.Random((tag << 3) | (addr % 5))
+    words = [rng.getrandbits(32) | 0x01000000 for _ in range(line_bytes // 4)]
+    line = bytearray(struct.pack(f"<{len(words)}I", *words))
+    struct.pack_into("<I", line, line_bytes - 4, addr & 0xFFFFFFFF)
+    return bytes(line)
+
+
+#: Queue sentinel: the worker should flush and exit.
+_SHUTDOWN = object()
+
+
+class Session:
+    """One client's endpoint pair plus its bounded service state."""
+
+    def __init__(self, session_id: int, client_tag: int, config: ServeConfig) -> None:
+        self.session_id = session_id
+        self.client_tag = client_tag
+        self.config = config
+        cable = CableConfig().with_overrides(durability=config.durability)
+        home = SetAssociativeCache(CacheGeometry(config.home_kb * 1024, 8))
+        remote = SetAssociativeCache(CacheGeometry(config.remote_kb * 1024, 4))
+        store: Dict[int, bytes] = {}
+
+        def backing_read(addr: int) -> bytes:
+            data = store.get(addr)
+            if data is None:
+                data = synthetic_line(client_tag, addr, cable.line_bytes)
+                store[addr] = data
+            return data
+
+        self.pair = CableLinkPair(
+            cable,
+            InclusivePair(home, remote, backing_read, store.__setitem__),
+        )
+        # Bounded memory: capture each access's transfers via the
+        # accounting hook instead of the unbounded transfers list.
+        self.pair.keep_transfers = False
+        self._capture: List[Tuple[str, object]] = []
+        original_account = self.pair._account
+
+        def account_hook(direction, event, payload, search):
+            original_account(direction, event, payload, search)
+            self._capture.append((direction, payload))
+
+        self.pair._account = account_hook
+        self.fmt = wire_format_for(cable, self.pair.home_encoder.engine)
+        self.engine_name = cable.engine
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=config.queue_depth)
+        #: (access index, frame pos) → (direction, seq, bytes, bits).
+        self.window: Dict[Tuple[int, int], Tuple[int, int, bytes, int]] = {}
+        self._window_order: List[Tuple[int, int]] = []
+        self.seq = 0
+        self.wire_faults: Optional[WireFaultInjector] = None
+        self.channel_faults: Optional[ChannelFaultInjector] = None
+        if config.faults is not None:
+            plan = replace(config.faults, seed=config.faults.seed ^ client_tag)
+            self.wire_faults = WireFaultInjector(plan)
+            self.channel_faults = ChannelFaultInjector(plan)
+        self.sender: Optional[StreamSender] = None
+        self.worker: Optional[asyncio.Task] = None
+        self.stats = {
+            "accesses": 0,
+            "frames": 0,
+            "retransmits": 0,
+            "nacks": 0,
+            "rejected": 0,
+            "dropped_frames": 0,
+            "link_failures": 0,
+            "silent_corruptions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Attachment & epochs
+    # ------------------------------------------------------------------
+
+    def attach(self, sender: StreamSender) -> None:
+        self.sender = sender
+        if self.worker is None or self.worker.done():
+            self.worker = asyncio.get_running_loop().create_task(self._run_worker())
+
+    def detach(self) -> None:
+        self.sender = None
+
+    @property
+    def attached(self) -> bool:
+        return self.sender is not None
+
+    def progress(self) -> Tuple[int, int]:
+        """The durable (epoch, records) the home endpoint has reached —
+        what a well-behaved client should echo in its resume HELLO."""
+        return self.pair.home_state.expected_progress()
+
+    def resync_stale_resume(self) -> None:
+        """The client's epoch disagreed with durable state: audit and
+        repair both endpoints (§III-F), then re-baseline the managers
+        so the granted epoch is trustworthy."""
+        self.pair.resync()
+        for manager in (self.pair.home_state, self.pair.remote_state):
+            if manager is not None:
+                manager.checkpoint()
+        if METRICS.enabled:
+            _CTR_RESYNCS.inc()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, index: int, addr: int, is_write: bool, data: Optional[bytes]) -> bool:
+        """Enqueue one access; False means RETRY (queue full)."""
+        if METRICS.enabled:
+            _HIST_QUEUE.observe(self.queue.qsize())
+        try:
+            self.queue.put_nowait((index, addr, is_write, data))
+        except asyncio.QueueFull:
+            self.stats["rejected"] += 1
+            if METRICS.enabled:
+                _CTR_BACKPRESSURE.inc()
+            return False
+        return True
+
+    def retransmit(self, index: int, pos: int) -> bool:
+        """Answer one NACK from the retransmit window (pristine bytes —
+        a retransmission is never re-corrupted, guaranteeing forward
+        progress under any fault rate)."""
+        self.stats["nacks"] += 1
+        if METRICS.enabled:
+            _CTR_NACKS.inc()
+        entry = self.window.get((index, pos))
+        if entry is None or self.sender is None:
+            return False
+        direction, seq, frame_bytes, frame_bits = entry
+        name = "fill" if direction == protocol.DIR_FILL else "writeback"
+        self.sender.send(
+            protocol.encode_frame_record(index, name, pos, seq, frame_bytes, frame_bits)
+        )
+        self.stats["retransmits"] += 1
+        if METRICS.enabled:
+            _CTR_RETRANS.inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # The worker: queue → pair.access → frames on the wire
+    # ------------------------------------------------------------------
+
+    async def _run_worker(self) -> None:
+        while True:
+            item = await self.queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                try:
+                    self._process(*item)
+                except Exception:
+                    # Never let one poisoned access wedge queue.join()
+                    # at drain time; count it and keep serving.
+                    self.stats["worker_errors"] = (
+                        self.stats.get("worker_errors", 0) + 1
+                    )
+            finally:
+                self.queue.task_done()
+            # Yield so the reader loop (and other sessions) interleave
+            # between accesses even when the queue is hot.
+            await asyncio.sleep(0)
+
+    def _process(
+        self, index: int, addr: int, is_write: bool, data: Optional[bytes]
+    ) -> None:
+        self._capture.clear()
+        status = protocol.STATUS_OK
+        try:
+            self.pair.access(addr, is_write=is_write, write_data=data)
+        except LinkRecoveryError:
+            status = protocol.STATUS_LINK_FAILURE
+            self.stats["link_failures"] += 1
+        except DecompressionError:
+            # The byte-level checker caught delivered-but-wrong data.
+            # Loud, counted, and the access still answers — one escape
+            # must not wedge the session.
+            self.stats["silent_corruptions"] += 1
+        self.stats["accesses"] += 1
+        if METRICS.enabled:
+            _CTR_ACCESSES.inc()
+        sent = 0
+        for pos, (direction, payload) in enumerate(self._capture):
+            self._ship_frame(index, pos, direction, payload)
+            sent += 1
+        self._capture.clear()
+        if self.sender is not None:
+            epoch, records = self.progress()
+            self.sender.send(
+                protocol.encode_result(index, sent, status, epoch, records)
+            )
+
+    def _ship_frame(self, index: int, pos: int, direction: str, payload) -> None:
+        seq = self.seq
+        self.seq = (self.seq + 1) & 0x0F  # FRAME_SEQ_BITS-wide window
+        writer = encode_frame(
+            payload,
+            self.fmt,
+            self.engine_name,
+            seq=seq,
+            crc_bits=self.config.crc_bits,
+        )
+        frame_bytes = writer.getvalue()
+        frame_bits = writer.bit_count
+        dir_code = protocol.DIR_NAMES[direction]
+        self._window_insert((index, pos), (dir_code, seq, frame_bytes, frame_bits))
+        self.stats["frames"] += 1
+        if METRICS.enabled:
+            _CTR_FRAMES.inc()
+        if self.sender is None:
+            return  # client detached mid-access; window keeps the frame
+        if self.channel_faults is not None and self.channel_faults.decide() == "drop":
+            self.stats["dropped_frames"] += 1
+            if METRICS.enabled:
+                _CTR_DROPPED.inc()
+            return  # the client NACKs the hole after RESULT arrives
+        shipped, shipped_bits = frame_bytes, frame_bits
+        if self.wire_faults is not None:
+            shipped, shipped_bits = self.wire_faults.corrupt(shipped, shipped_bits)
+        if shipped_bits <= 0:
+            # Truncated to nothing — indistinguishable from a drop.
+            self.stats["dropped_frames"] += 1
+            return
+        self.sender.send(
+            protocol.encode_frame_record(
+                index, direction, pos, seq, shipped, shipped_bits
+            )
+        )
+
+    def _window_insert(self, key: Tuple[int, int], entry) -> None:
+        if key not in self.window:
+            self._window_order.append(key)
+        self.window[key] = entry
+        while len(self._window_order) > self.config.retransmit_window:
+            evicted = self._window_order.pop(0)
+            self.window.pop(evicted, None)
+
+    # ------------------------------------------------------------------
+    # Drain / close
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Finish queued work, stop the worker, flush, checkpoint."""
+        await self.queue.join()
+        if self.worker is not None and not self.worker.done():
+            self.queue.put_nowait(_SHUTDOWN)
+            await self.worker
+        self.worker = None
+        self.pair.drain_resync()
+        for manager in (self.pair.home_state, self.pair.remote_state):
+            if manager is not None:
+                manager.checkpoint()
+        if self.sender is not None:
+            await self.sender.drain()
+
+    def audit_ok(self) -> bool:
+        from repro.core.sync import audit
+
+        return audit(self.pair).ok
+
+
+class SessionManager:
+    """Open/resume/drain across every session of one service."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.sessions: Dict[int, Session] = {}
+        self.next_id = 1
+        self.draining = False
+        self.stats = {
+            "opened": 0,
+            "resumed": 0,
+            "resyncs": 0,
+            "rejected_opens": 0,
+            "peak_sessions": 0,
+        }
+
+    def open(
+        self, resume_id: int, client_tag: int, epoch: int, records: int
+    ) -> Tuple[Optional[Session], int]:
+        """Grant (session, OPEN_OK flags); session None when rejected."""
+        if self.draining:
+            self.stats["rejected_opens"] += 1
+            return None, protocol.FLAG_REJECTED
+        if resume_id:
+            session = self.sessions.get(resume_id)
+            if session is None or session.attached:
+                self.stats["rejected_opens"] += 1
+                return None, protocol.FLAG_REJECTED
+            flags = protocol.FLAG_RESUMED
+            if (epoch, records) != session.progress():
+                # Stale epoch: never resume onto divergent metadata —
+                # repair first, then grant the fresh epoch.
+                session.resync_stale_resume()
+                self.stats["resyncs"] += 1
+                flags |= protocol.FLAG_REBUILT
+            self.stats["resumed"] += 1
+            if METRICS.enabled:
+                _CTR_RESUMED.inc()
+            return session, flags
+        if len(self.sessions) >= self.config.max_sessions:
+            self.stats["rejected_opens"] += 1
+            return None, protocol.FLAG_REJECTED
+        session = Session(self.next_id, client_tag, self.config)
+        self.sessions[session.session_id] = session
+        self.next_id += 1
+        self.stats["opened"] += 1
+        if METRICS.enabled:
+            _CTR_OPENED.inc()
+        return session, 0
+
+    def attached_count(self) -> int:
+        return sum(1 for s in self.sessions.values() if s.attached)
+
+    def publish_active(self) -> None:
+        active = self.attached_count()
+        self.stats["peak_sessions"] = max(self.stats["peak_sessions"], active)
+        if METRICS.enabled:
+            _GAUGE_ACTIVE.set(active)
+
+    def close_session(self, session: Session, keep: bool) -> None:
+        session.detach()
+        if not keep:
+            self.sessions.pop(session.session_id, None)
+        self.publish_active()
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful drain of every session; returns a roll-up report.
+
+        Order matters: stop admitting first (callers check
+        ``draining``), then let each queue empty through its worker,
+        flush writers, checkpoint durable state, and finally audit
+        every pair — the audit result is the drain's cleanliness bit.
+        """
+        self.draining = True
+        report = {
+            "sessions": len(self.sessions),
+            "accesses": 0,
+            "frames": 0,
+            "retransmits": 0,
+            "link_failures": 0,
+            "silent_corruptions": 0,
+            "audit_failures": 0,
+        }
+        for session in list(self.sessions.values()):
+            await session.drain()
+            for key in (
+                "accesses",
+                "frames",
+                "retransmits",
+                "link_failures",
+                "silent_corruptions",
+            ):
+                report[key] += session.stats[key]
+            if not session.audit_ok():
+                report["audit_failures"] += 1
+        if METRICS.enabled:
+            METRICS.counter("serve.drains").inc()
+            for key, value in report.items():
+                METRICS.gauge(f"serve.drain.{key}").set(value)
+        return report

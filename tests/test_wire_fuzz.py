@@ -194,3 +194,83 @@ class TestBarePayloadFuzz:
         except DecompressionError:
             return  # typed failure: the contract holds
         assert isinstance(decoded.kind, PayloadKind)
+
+
+class TestStreamReassemblyFuzz:
+    """The incremental :class:`FrameDecoder` must reassemble stream
+    records identically under *any* chunking of the byte stream —
+    frames split across reads (even mid-header) are the normal TCP
+    case, not an error — while keeping its buffer bounded."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.tuples(st.integers(0, 255), st.binary(min_size=0, max_size=90)),
+            min_size=1,
+            max_size=8,
+        ),
+        cuts=st.lists(st.integers(1, 40), min_size=0, max_size=24),
+    )
+    def test_any_chunking_reassembles(self, payloads, cuts):
+        from repro.link.wire import FrameDecoder, encode_stream_record
+
+        stream = b"".join(
+            encode_stream_record(channel, data, len(data) * 8)
+            for channel, data in payloads
+        )
+        decoder = FrameDecoder()
+        got = []
+        offset = 0
+        for cut in cuts:
+            got.extend(decoder.feed(stream[offset : offset + cut]))
+            offset += cut
+            if offset >= len(stream):
+                break
+        got.extend(decoder.feed(stream[offset:]))
+        assert [(ch, payload) for ch, payload, _bits in got] == payloads
+        assert decoder.frames_decoded == len(payloads)
+        assert decoder.buffered == 0
+        decoder.close()  # nothing left over → no TruncatedPayloadError
+
+    def test_byte_at_a_time(self):
+        from repro.link.wire import FrameDecoder, encode_stream_record
+
+        record = encode_stream_record(7, b"hello wire", 80)
+        decoder = FrameDecoder()
+        got = []
+        for i in range(len(record)):
+            got.extend(decoder.feed(record[i : i + 1]))
+        assert got == [(7, b"hello wire", 80)]
+
+    def test_oversize_frame_rejected_before_buffering(self):
+        from repro.core.errors import CorruptPayloadError
+        from repro.link.wire import (
+            STREAM_HEADER_BYTES,
+            STREAM_RECORD_MAGIC,
+            FrameDecoder,
+        )
+
+        huge_bits = (1 << 20) * 8
+        header = bytes((STREAM_RECORD_MAGIC, 0)) + huge_bits.to_bytes(4, "big")
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        with pytest.raises(CorruptPayloadError):
+            decoder.feed(header)
+        # The bound rejects at the header: nothing was hoarded.
+        assert decoder.buffered <= STREAM_HEADER_BYTES
+
+    def test_bad_magic_is_typed(self):
+        from repro.core.errors import CorruptPayloadError
+        from repro.link.wire import FrameDecoder
+
+        with pytest.raises(CorruptPayloadError):
+            FrameDecoder().feed(b"\x00\x01\x02\x03\x04\x05\x06")
+
+    def test_close_with_partial_frame_is_typed(self):
+        from repro.core.errors import TruncatedPayloadError
+        from repro.link.wire import FrameDecoder, encode_stream_record
+
+        record = encode_stream_record(3, b"abcdef", 48)
+        decoder = FrameDecoder()
+        assert decoder.feed(record[:-2]) == []
+        with pytest.raises(TruncatedPayloadError):
+            decoder.close()

@@ -77,9 +77,21 @@ def check_crash_recovery(summary):
         yield "recovery was not bounded / final audit failed"
 
 
+def check_serving(summary):
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if not summary.get("backpressure_events"):
+        yield "no backpressure was ever observed (queues must be bounded)"
+    if summary.get("max_sessions", 0) < 16:
+        yield "sweep never reached 16 concurrent sessions"
+    if summary.get("drained_clean") != 1:
+        yield "graceful drain did not end with every audit clean"
+
+
 CHECKS = {
     "resilience": check_resilience,
     "crash_recovery": check_crash_recovery,
+    "serving": check_serving,
 }
 
 
@@ -185,6 +197,17 @@ RESILIENCE_COLUMNS = {
     "overhead": "overhead_pct",
 }
 
+#: Serving columns that are deterministic over the in-process pipes
+#: (pinned seeds, per-tag reseeded injectors, index-ordered admission).
+#: Latency/throughput columns are machine-dependent and not checked.
+SERVING_COLUMNS = {
+    "clients": "clients",
+    "accesses": "accesses",
+    "frames": "frames",
+    "nacks": "nacks",
+    "silent": "silent",
+}
+
 CRASH_COLUMNS = {
     "kills": "kills",
     "replays": "replays",
@@ -247,6 +270,7 @@ def drift_failures():
     tables = parse_markdown_tables(EXPERIMENTS_MD.read_text())
     resilience = OUTPUT_DIR / "resilience.txt"
     crash = OUTPUT_DIR / "crash_recovery.txt"
+    serving = OUTPUT_DIR / "serving.txt"
     for headers, rows in tables:
         if "fault rate" in headers and "trips / re-arms" in headers:
             if not resilience.exists():
@@ -260,6 +284,19 @@ def drift_failures():
                 "fault rate",
                 "fault_rate",
                 RESILIENCE_COLUMNS,
+            )
+        elif "clients" in headers and "frames" in headers:
+            if not serving.exists():
+                yield "serving table quoted but serving.txt not archived"
+                continue
+            yield from check_table_drift(
+                "serving",
+                headers,
+                rows,
+                parse_archived_table(serving),
+                "clients",
+                "clients",
+                SERVING_COLUMNS,
             )
         elif "scenario" in headers and "kills" in headers:
             if not crash.exists():

@@ -1,148 +1,19 @@
 #!/usr/bin/env python3
-"""Render per-stage latency/count tables from the metrics registry.
+"""Compatibility shim: the CLI lives in :mod:`repro.obs.report`.
 
-Two modes:
-
-- ``--demo``: enable observability, drive a fault campaign plus a
-  durable crash campaign over a :class:`CableLinkPair` (5k accesses by
-  default) and report what the instrumentation saw — the quickest way
-  to eyeball the whole profile surface end to end.
-- snapshot files: load one or more archived ``*.obs.json`` registry
-  snapshots (written by ``benchmarks/conftest.py`` next to the
-  ``.stats.json`` timings) and render the merged registry.
-
-Usage::
-
-    python tools/obs_report.py --demo
-    python tools/obs_report.py --demo --accesses 20000 --markdown
-    python tools/obs_report.py benchmarks/output/resilience.obs.json
-    python tools/obs_report.py --demo --prometheus /tmp/metrics.prom
+Prefer the ``repro-obs-report`` console script (installed via
+``pip install -e .``); this wrapper keeps the old
+``python tools/obs_report.py`` invocation working without an install.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.obs.export import render_prometheus  # noqa: E402
-from repro.obs.registry import METRICS, MetricsRegistry  # noqa: E402
-from repro.obs.report import (  # noqa: E402
-    instrumented_stage_count,
-    render_counter_table,
-    render_markdown_stage_table,
-    render_stage_table,
-)
-
-#: Counter prefixes worth showing alongside the stage table.
-COUNTER_PREFIXES = ["search.", "encode.", "decode.", "signature.", "link.", "hashtable."]
-
-
-def run_demo(accesses: int, seed: int) -> None:
-    """Drive enough machinery that every instrumented stage fires."""
-    from repro.fault.campaign import SimulatedClock, run_campaign, run_crash_campaign
-    from repro.fault.plan import FaultPlan
-    from repro.state.plan import DurabilityPolicy
-
-    METRICS.enable()
-    # A moderately hostile link: enough wire faults that the NACK /
-    # retransmit and resync stages record real work, not zeros.
-    plan = FaultPlan.uniform(0.01, seed=seed)
-    campaign = run_campaign(
-        plan,
-        accesses=accesses,
-        seed=seed + 1,
-        breaker_clock=SimulatedClock(),
-    )
-    print(
-        f"campaign: {campaign.accesses:,} accesses, "
-        f"{campaign.faults_injected:,} faults injected, "
-        f"{campaign.link_failures:,} loud failures, "
-        f"{campaign.silent_corruptions:,} silent corruptions"
-    )
-    # A short durable crash campaign lights up the state.* stages
-    # (snapshot, restore, journal replay, crash recovery).
-    crash_plan = FaultPlan(seed=seed, home_crash_rate=0.002, remote_crash_rate=0.002)
-    crash = run_crash_campaign(
-        crash_plan,
-        durability=DurabilityPolicy(),
-        accesses=max(1000, accesses // 5),
-        seed=seed + 2,
-        breaker_clock=SimulatedClock(),
-    )
-    print(
-        f"crash campaign: {crash.accesses:,} accesses, "
-        f"{crash.kill_points:,} kill points, "
-        f"{crash.silent_corruptions:,} silent corruptions"
-    )
-
-
-def load_snapshots(registry: MetricsRegistry, paths) -> None:
-    for path in paths:
-        registry.load_snapshot(json.loads(pathlib.Path(path).read_text()))
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "snapshots",
-        nargs="*",
-        help="archived .obs.json registry snapshots to merge and render",
-    )
-    parser.add_argument(
-        "--demo",
-        action="store_true",
-        help="run a live instrumented campaign instead of loading snapshots",
-    )
-    parser.add_argument(
-        "--accesses", type=int, default=5000, help="demo campaign accesses"
-    )
-    parser.add_argument("--seed", type=int, default=7, help="demo campaign seed")
-    parser.add_argument(
-        "--markdown",
-        action="store_true",
-        help="render the stage table as GitHub-flavored markdown",
-    )
-    parser.add_argument(
-        "--counters",
-        action="store_true",
-        help="also print the nonzero event counters",
-    )
-    parser.add_argument(
-        "--prometheus",
-        metavar="PATH",
-        help="additionally write the registry in Prometheus text format",
-    )
-    args = parser.parse_args(argv)
-
-    if not args.demo and not args.snapshots:
-        parser.error("give --demo or at least one .obs.json snapshot")
-
-    registry = METRICS
-    if args.demo:
-        run_demo(args.accesses, args.seed)
-    else:
-        registry = MetricsRegistry()
-    load_snapshots(registry, args.snapshots)
-
-    print()
-    if args.markdown:
-        print(render_markdown_stage_table(registry))
-    else:
-        print(render_stage_table(registry))
-    stages = instrumented_stage_count(registry)
-    print(f"\n{stages} instrumented stages recorded observations")
-    if args.counters:
-        print()
-        print(render_counter_table(registry, COUNTER_PREFIXES))
-    if args.prometheus:
-        pathlib.Path(args.prometheus).write_text(render_prometheus(registry))
-        print(f"wrote Prometheus text to {args.prometheus}")
-    return 0
-
+from repro.obs.report import main  # noqa: E402
 
 if __name__ == "__main__":
     raise SystemExit(main())
