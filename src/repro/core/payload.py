@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 from repro.cache.setassoc import LineId
 from repro.compression.base import CompressedBlock
+from repro.util.kernels import DATACLASS_SLOTS
 
 #: Compressed/uncompressed selector.
 FLAG_BITS = 1
@@ -35,7 +36,7 @@ class PayloadKind(Enum):
     WITH_REFERENCES = "with_references"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **DATACLASS_SLOTS)
 class Payload:
     """One line's worth of link traffic, home → remote or back."""
 
@@ -99,41 +100,45 @@ def choose_payload(
     the smaller of the two candidates is sent. Anything that would
     exceed the raw line is sent uncompressed.
     """
-    line_bits = len(line) * 8
-    candidates = []
+    # Decide on sizes alone, then construct exactly one Payload — this
+    # runs once per encoded line, and payload construction (a frozen
+    # dataclass) costs more than the whole arithmetic below.
+    line_bytes = len(line)
+    line_bits = line_bytes * 8
+    no_ref_bits = FLAG_BITS + REFCOUNT_BITS + no_ref.size_bits
+    shortcut = line_bits / no_ref_bits >= no_reference_threshold
 
-    no_ref_payload = Payload(
-        kind=PayloadKind.NO_REFERENCE,
-        line_addr=line_addr,
-        line_bytes=len(line),
-        block=no_ref,
-        remotelid_bits=remotelid_bits,
-    )
-    if line_bits / no_ref_payload.size_bits >= no_reference_threshold:
-        return no_ref_payload
-    candidates.append(no_ref_payload)
-
-    if with_refs is not None:
+    best_bits = no_ref_bits
+    if not shortcut and with_refs is not None:
         block, lids, addrs = with_refs
-        candidates.append(
-            Payload(
-                kind=PayloadKind.WITH_REFERENCES,
-                line_addr=line_addr,
-                line_bytes=len(line),
-                remote_lids=lids,
-                block=block,
-                remotelid_bits=remotelid_bits,
-                ref_addrs=addrs,
-            )
+        with_refs_bits = (
+            FLAG_BITS + REFCOUNT_BITS + len(lids) * remotelid_bits + block.size_bits
         )
-
-    best = min(candidates, key=lambda p: p.size_bits)
-    if best.size_bits >= FLAG_BITS + line_bits:
+        # Ties go to no_ref (min() keeps the first minimal candidate).
+        if with_refs_bits < no_ref_bits:
+            best_bits = with_refs_bits
+            if best_bits < FLAG_BITS + line_bits:
+                return Payload(
+                    kind=PayloadKind.WITH_REFERENCES,
+                    line_addr=line_addr,
+                    line_bytes=line_bytes,
+                    remote_lids=lids,
+                    block=block,
+                    remotelid_bits=remotelid_bits,
+                    ref_addrs=addrs,
+                )
+    if not shortcut and best_bits >= FLAG_BITS + line_bits:
         return Payload(
             kind=PayloadKind.UNCOMPRESSED,
             line_addr=line_addr,
-            line_bytes=len(line),
+            line_bytes=line_bytes,
             raw=line,
             remotelid_bits=remotelid_bits,
         )
-    return best
+    return Payload(
+        kind=PayloadKind.NO_REFERENCE,
+        line_addr=line_addr,
+        line_bytes=line_bytes,
+        block=no_ref,
+        remotelid_bits=remotelid_bits,
+    )

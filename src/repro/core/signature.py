@@ -23,11 +23,18 @@ trivial threshold) and LRU-bounded.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import List, Tuple
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import CableConfig
-from repro.util.kernels import line_words, popcount32, trivial_mask
+from repro.util.kernels import (
+    BatchLines,
+    batch_backend,
+    get_numpy,
+    line_words,
+    popcount32,
+    trivial_mask,
+)
 from repro.util.rng import make_rng
 
 #: Bound on the per-extractor signature memo caches.
@@ -54,6 +61,11 @@ class H3Hash:
         self._tables: Tuple[Tuple[int, ...], ...] = tuple(
             self._build_table(byte_pos) for byte_pos in range(4)
         )
+        # Numpy mirror of the byte tables for whole-matrix hashing.
+        np = get_numpy()
+        self._np_tables = (
+            np.array(self._tables, dtype=np.uint32) if np is not None else None
+        )
 
     def _build_table(self, byte_pos: int) -> Tuple[int, ...]:
         """XOR-fold the 8 matrix rows of one input byte over all 256
@@ -73,6 +85,20 @@ class H3Hash:
             ^ tables[1][(word >> 8) & 0xFF]
             ^ tables[2][(word >> 16) & 0xFF]
             ^ tables[3][word >> 24]
+        )
+
+    def hash_matrix(self, words):
+        """Hash a whole uint32 numpy matrix of words at once.
+
+        Same four-table XOR as :meth:`__call__`, lifted to the array:
+        every element of the result equals ``self(int(word))``.
+        """
+        tables = self._np_tables
+        return (
+            tables[0][words & 0xFF]
+            ^ tables[1][(words >> 8) & 0xFF]
+            ^ tables[2][(words >> 16) & 0xFF]
+            ^ tables[3][words >> 24]
         )
 
     def hash_bitwise(self, word: int) -> int:
@@ -96,12 +122,20 @@ class SignatureExtractor:
         self.hash = H3Hash(config.hash_seed)
         # Per-instance memoization: results depend on this extractor's
         # seed/offsets/threshold, so the caches cannot be module-level.
-        self._index_cached = lru_cache(maxsize=_SIGNATURE_CACHE_SIZE)(
-            self._index_signatures_uncached
-        )
-        self._search_cached = lru_cache(maxsize=_SIGNATURE_CACHE_SIZE)(
-            self._search_signatures_uncached
-        )
+        # Plain dicts rather than lru_cache so the *batched* extraction
+        # below can fill them wholesale; bounded by dropping the oldest
+        # half (insertion order) when full.
+        self._index_memo: Dict[bytes, Tuple[int, ...]] = {}
+        self._search_memo: Dict[bytes, Tuple[int, ...]] = {}
+
+    @staticmethod
+    def _remember(
+        memo: Dict[bytes, Tuple[int, ...]], line: bytes, sigs: Tuple[int, ...]
+    ) -> None:
+        if len(memo) >= _SIGNATURE_CACHE_SIZE:
+            for stale in list(islice(iter(memo), _SIGNATURE_CACHE_SIZE // 2)):
+                del memo[stale]
+        memo[line] = sigs
 
     # ------------------------------------------------------------------
     # Index-time: the signatures inserted into the hash table
@@ -115,7 +149,11 @@ class SignatureExtractor:
         signatures and is simply not indexed — zero lines compress
         perfectly without references anyway.
         """
-        return list(self._index_cached(line))
+        sigs = self._index_memo.get(line)
+        if sigs is None:
+            sigs = self._index_signatures_uncached(line)
+            self._remember(self._index_memo, line, sigs)
+        return list(sigs)
 
     def _index_signatures_uncached(self, line: bytes) -> Tuple[int, ...]:
         words = line_words(line)
@@ -148,7 +186,11 @@ class SignatureExtractor:
 
     def search_signatures(self, line: bytes) -> List[int]:
         """One signature per distinct non-trivial word, line order."""
-        return list(self._search_cached(line))
+        sigs = self._search_memo.get(line)
+        if sigs is None:
+            sigs = self._search_signatures_uncached(line)
+            self._remember(self._search_memo, line, sigs)
+        return list(sigs)
 
     def _search_signatures_uncached(self, line: bytes) -> Tuple[int, ...]:
         words = line_words(line)
@@ -167,6 +209,119 @@ class SignatureExtractor:
             if sig not in seen:
                 seen.add(sig)
                 signatures.append(sig)
+        return tuple(signatures)
+
+    # ------------------------------------------------------------------
+    # Batched extraction (whole blocks of lines at once)
+    # ------------------------------------------------------------------
+
+    def search_signatures_batch(
+        self, lines: Sequence[bytes], backend: Optional[str] = None
+    ) -> List[Tuple[int, ...]]:
+        """Search-time signatures for a whole block of lines.
+
+        Equivalent to ``[tuple(self.search_signatures(l)) for l in
+        lines]``: memo hits are returned directly, and the misses are
+        hashed together through one :class:`BatchLines` matrix on the
+        numpy leg (scalar per line on the pure leg).
+        """
+        memo = self._search_memo
+        out: List[Optional[Tuple[int, ...]]] = []
+        missing: Dict[bytes, None] = {}
+        for line in lines:
+            sigs = memo.get(line)
+            out.append(sigs)
+            if sigs is None:
+                missing[line] = None
+        if missing:
+            computed = self._extract_block(list(missing), backend, index=False)
+            for i, line in enumerate(lines):
+                if out[i] is None:
+                    out[i] = computed[line][1]
+        return out
+
+    def warm_batch(self, lines: Sequence[bytes], backend: Optional[str] = None) -> int:
+        """Precompute index- and search-time memo entries for *lines*.
+
+        The look-ahead prefetch of the batch feeds: extraction is pure
+        per-line work (no encoder state involved), so it can be paid in
+        one vectorized pass before the scalar pipeline consumes the
+        lines. Returns how many distinct lines were newly extracted.
+        """
+        fresh = [
+            line
+            for line in dict.fromkeys(lines)
+            if line not in self._search_memo or line not in self._index_memo
+        ]
+        if fresh:
+            self._extract_block(fresh, backend, index=True)
+        return len(fresh)
+
+    def _extract_block(
+        self, unique_lines: List[bytes], backend: Optional[str], index: bool
+    ) -> Dict[bytes, Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Extract (index_sigs, search_sigs) for distinct lines.
+
+        One hash pass feeds both extraction rules; *index* skips the
+        index-time walk when only search signatures are wanted.
+        """
+        resolved: Dict[bytes, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        vectorized = (
+            batch_backend(backend) == "numpy"
+            and len({len(line) for line in unique_lines}) == 1
+        )
+        if vectorized:
+            batch = BatchLines(
+                unique_lines, self.config.trivial_threshold_bits, "numpy"
+            )
+            rows = self.hash.hash_matrix(batch.words).tolist()
+            for line, row, tmask in zip(unique_lines, rows, batch.tmasks):
+                search_sigs = self._search_from_row(row, tmask)
+                index_sigs = self._index_from_row(row, tmask) if index else ()
+                self._remember(self._search_memo, line, search_sigs)
+                if index:
+                    self._remember(self._index_memo, line, index_sigs)
+                resolved[line] = (index_sigs, search_sigs)
+        else:
+            for line in unique_lines:
+                search_sigs = self._search_signatures_uncached(line)
+                index_sigs = self._index_signatures_uncached(line) if index else ()
+                self._remember(self._search_memo, line, search_sigs)
+                if index:
+                    self._remember(self._index_memo, line, index_sigs)
+                resolved[line] = (index_sigs, search_sigs)
+        return resolved
+
+    def _search_from_row(self, row: List[int], tmask: int) -> Tuple[int, ...]:
+        """Search-rule dedup over a pre-hashed word row."""
+        signatures: List[int] = []
+        seen = set()
+        for i, sig in enumerate(row):
+            if (tmask >> i) & 1:
+                continue
+            if sig not in seen:
+                seen.add(sig)
+                signatures.append(sig)
+        return tuple(signatures)
+
+    def _index_from_row(self, row: List[int], tmask: int) -> Tuple[int, ...]:
+        """Index-rule offset walk over a pre-hashed word row."""
+        count = len(row)
+        signatures: List[int] = []
+        seen = set()
+        for offset in self.config.signature_offsets[: self.config.signatures_per_line]:
+            start = offset // 4
+            chosen = None
+            for step in range(count):
+                word_index = (start + step) % count
+                if not (tmask >> word_index) & 1:
+                    chosen = row[word_index]
+                    break
+            if chosen is None:
+                continue
+            if chosen not in seen:
+                seen.add(chosen)
+                signatures.append(chosen)
         return tuple(signatures)
 
     def nontrivial_word_count(self, line: bytes) -> int:

@@ -38,6 +38,8 @@ from repro.obs.registry import (
 from repro.obs.report import (
     StageRow,
     instrumented_stage_count,
+    kernel_header,
+    publish_kernel_gauges,
     render_counter_table,
     render_markdown_stage_table,
     render_stage_table,
@@ -61,9 +63,11 @@ __all__ = [
     "dump_trace_jsonl",
     "dump_tracer",
     "instrumented_stage_count",
+    "kernel_header",
     "load_trace_jsonl",
     "parse_prometheus",
     "prometheus_name",
+    "publish_kernel_gauges",
     "render_counter_table",
     "render_markdown_stage_table",
     "render_prometheus",

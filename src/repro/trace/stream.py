@@ -203,6 +203,14 @@ class SharedBackingStore:
 
     def read(self, line_addr: int) -> bytes:
         self.stats["reads"] += 1
+        return self.peek(line_addr)
+
+    def peek(self, line_addr: int) -> bytes:
+        """:meth:`read` without the stats bump.
+
+        The memory-link simulation's look-ahead warm peeks upcoming
+        lines to prefetch signature extraction; it must not perturb the
+        backing-store accounting the benchmarks report."""
         cached = self._data.get(line_addr)
         if cached is not None:
             return cached

@@ -54,6 +54,15 @@ HAVE_NUMPY = _np is not None
 
 _HAVE_BITWISE_COUNT = HAVE_NUMPY and hasattr(_np, "bitwise_count")
 
+#: Which kernel leg import-time selection landed on. Mirrored into the
+#: obs layer so benchmark artifacts record the leg that produced them.
+if HAVE_NUMPY:
+    BACKEND = "numpy"
+elif not FORCE_PURE and hasattr(int, "bit_count"):
+    BACKEND = "bit_count"
+else:
+    BACKEND = "pure"
+
 #: Keyword arguments adding ``__slots__`` to a ``@dataclass`` on
 #: interpreters that support it (``slots=True`` arrived in 3.10).
 #: Hot per-encode objects use this to cut allocation overhead without
@@ -234,6 +243,150 @@ def _count_toggles_numpy(flits: Iterable[int], previous: int = 0) -> int:
 count_toggles = (
     _count_toggles_numpy if _HAVE_BITWISE_COUNT else _count_toggles_pure
 )
+
+
+# ----------------------------------------------------------------------
+# Batched-across-lines kernels
+# ----------------------------------------------------------------------
+#
+# The per-line kernels above took the arithmetic off the profile; what
+# remains in the encode hot path is per-line Python dispatch. These
+# primitives amortize it across a *block* of lines: one contiguous
+# word matrix, one vectorized trivial-mask pass, one packbits per
+# block of coverage bit vectors. Every entry point takes an optional
+# ``backend`` ("numpy" or "pure") so tests can pin either leg
+# in-process; the default follows the import-time selection (and hence
+# REPRO_PURE_PYTHON).
+
+
+def get_numpy():
+    """The numpy module when the fast paths are active, else None.
+
+    Batch call sites (signature hashing, the vectorized search leg)
+    route through this instead of importing numpy themselves so the
+    REPRO_PURE_PYTHON gate stays in exactly one place.
+    """
+    return _np
+
+
+def batch_backend(override: "str | None" = None) -> str:
+    """Resolve the batch-kernel leg: "numpy" or "pure"."""
+    if override is not None:
+        if override not in ("numpy", "pure"):
+            raise ValueError(f"unknown batch backend {override!r}")
+        if override == "numpy" and not HAVE_NUMPY:
+            raise ValueError("numpy batch backend requested but numpy is unavailable")
+        return override
+    return "numpy" if HAVE_NUMPY else "pure"
+
+
+def _rows_to_masks(rows: "object") -> List[int]:
+    """Per-row little-endian bitmask ints from a (N, W) bool array."""
+    packed = _np.packbits(rows, axis=1, bitorder="little")
+    width = packed.shape[1]
+    pad = -width % 8
+    if pad:
+        packed = _np.pad(packed, ((0, 0), (0, pad)))
+    if packed.shape[1] == 8:
+        return _np.ascontiguousarray(packed).view("<u8").ravel().tolist()
+    data = packed.tobytes()
+    stride = packed.shape[1]
+    return [
+        int.from_bytes(data[i : i + stride], "little")
+        for i in range(0, len(data), stride)
+    ]
+
+
+class BatchLines:
+    """A block of equal-length lines as one contiguous word matrix.
+
+    Built in a single vectorized pass on the numpy leg: one
+    ``frombuffer`` over the concatenated lines for the ``(count,
+    words_per_line)`` uint32 matrix, and one shift/compare/packbits
+    round for the per-line trivial masks. The pure leg reuses the
+    memoized per-line kernels, so both legs agree bit-for-bit with
+    :func:`line_words` / :func:`trivial_mask`.
+    """
+
+    __slots__ = ("lines", "count", "words_per_line", "backend", "words", "tmasks")
+
+    def __init__(
+        self,
+        lines: Sequence[bytes],
+        trivial_threshold_bits: int = 24,
+        backend: "str | None" = None,
+    ) -> None:
+        self.lines: Tuple[bytes, ...] = tuple(lines)
+        self.count = len(self.lines)
+        if not self.count:
+            raise ValueError("BatchLines needs at least one line")
+        size = len(self.lines[0])
+        if size % 4 or any(len(line) != size for line in self.lines):
+            raise ValueError("BatchLines needs equal, word-aligned line lengths")
+        self.words_per_line = size // 4
+        self.backend = batch_backend(backend)
+        if self.backend == "numpy":
+            matrix = _np.frombuffer(b"".join(self.lines), dtype="<u4").reshape(
+                self.count, self.words_per_line
+            )
+            top = matrix >> _np.uint32(32 - trivial_threshold_bits)
+            trivial = (top == 0) | (
+                top == _np.uint32((1 << trivial_threshold_bits) - 1)
+            )
+            #: (count, words_per_line) uint32 matrix, row *i* = line *i*.
+            self.words = matrix
+            #: Per-line trivial masks (same rule as :func:`trivial_mask`).
+            self.tmasks: List[int] = _rows_to_masks(trivial)
+        else:
+            self.words = [line_words(line) for line in self.lines]
+            self.tmasks = [
+                trivial_mask(line, trivial_threshold_bits) for line in self.lines
+            ]
+
+
+def popcount_array(arr: "object") -> "object":
+    """Elementwise popcount of a uint32 numpy array (numpy leg only)."""
+    if _HAVE_BITWISE_COUNT:
+        return _np.bitwise_count(arr)
+    v = arr.astype(_np.uint32, copy=True)
+    v -= (v >> 1) & _np.uint32(0x55555555)
+    v = (v & _np.uint32(0x33333333)) + ((v >> 2) & _np.uint32(0x33333333))
+    v = (v + (v >> 4)) & _np.uint32(0x0F0F0F0F)
+    return (v * _np.uint32(0x01010101)) >> 24
+
+
+def batch_match_masks(
+    line: bytes, candidates: Sequence[bytes], backend: "str | None" = None
+) -> List[int]:
+    """CBVs of *line* against many candidate lines at once.
+
+    Equivalent to ``[line_match_mask(line, c) for c in candidates]``;
+    the numpy leg stacks the candidates and resolves every mask with
+    one compare + packbits round.
+    """
+    if not candidates:
+        return []
+    if batch_backend(backend) != "numpy" or any(
+        len(c) != len(line) for c in candidates
+    ):
+        return [line_match_mask(line, candidate) for candidate in candidates]
+    target = _np.frombuffer(line, dtype="<u4")
+    stacked = _np.frombuffer(b"".join(candidates), dtype="<u4").reshape(
+        len(candidates), len(line) // 4
+    )
+    return _rows_to_masks(stacked == target)
+
+
+def match_mask_rows(target_rows: "object", candidate_rows: "object") -> List[int]:
+    """Row-wise CBVs between two aligned (N, W) uint32 matrices.
+
+    The fully-batched CBV kernel: the search pipeline gathers one
+    target row and one candidate row per (line, candidate) pair and
+    resolves the whole block in a single compare + packbits round.
+    """
+    if not len(target_rows):
+        return []
+    return _rows_to_masks(target_rows == candidate_rows)
 
 
 def clear_caches() -> None:

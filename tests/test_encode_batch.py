@@ -1,0 +1,220 @@
+"""Property tests: the batched encode path is byte-identical to scalar.
+
+``CableHomeEncoder.encode_batch()`` must reproduce, line for line, the
+payloads *and* every stats side effect of per-line ``encode()`` calls —
+across block sizes, kernel legs (numpy / pure), trace mixes, and
+interleaved mutations of the structures the generation-guarded search
+result cache witnesses (home cache, hash table, WMT). The strategy is
+a *twin encoder* oracle: two identically-seeded encoders consume the
+same stream, one through ``encode()`` and one through
+``encode_batch()``, and every observable — payload, search result,
+encoder/hash-table/WMT/cache stats — must agree after every chunk.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.line import CoherenceState
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableHomeEncoder
+from repro.util.kernels import HAVE_NUMPY
+
+#: Kernel legs the in-process ``backend=`` override can pin. Under
+#: REPRO_PURE_PYTHON=1 (the CI fallback leg) only "pure" exists.
+LEGS = ("numpy", "pure") if HAVE_NUMPY else ("pure",)
+
+_WORDS = 16
+_LINE_BYTES = _WORDS * 4
+_RESIDENT = 96
+
+
+def make_stream(seed: int, count: int):
+    """A trace mix: near-duplicates of rotating bases + noise lines."""
+    rng = random.Random(seed)
+    base = [rng.getrandbits(32) | 0x01000000 for _ in range(_WORDS)]
+    lines = []
+    for i in range(count):
+        roll = rng.random()
+        if roll < 0.15:  # pure noise — rarely finds references
+            words = [rng.getrandbits(32) for _ in range(_WORDS)]
+        elif roll < 0.30:  # trivial-heavy line
+            words = [rng.choice((0, 0xFFFFFFFF, rng.getrandbits(8))) for _ in range(_WORDS)]
+        else:  # family member: base with a few words changed
+            words = list(base)
+            for _ in range(rng.randrange(0, 6)):
+                words[rng.randrange(_WORDS)] = rng.getrandbits(32)
+        if i % 5 == 0:
+            base = [rng.getrandbits(32) | 0x01000000 for _ in range(_WORDS)]
+        lines.append(struct.pack(f"<{_WORDS}I", *words))
+    return lines
+
+
+def build_encoder(seed: int) -> CableHomeEncoder:
+    """A small home cache wired up with a resident, indexed family."""
+    geometry = CacheGeometry(16 * 1024, 8)
+    home = SetAssociativeCache(geometry, name="l4")
+    encoder = CableHomeEncoder(CableConfig(), home, geometry)
+    for addr, data in enumerate(make_stream(seed, _RESIDENT)):
+        way, __ = home.install(
+            addr * _LINE_BYTES, data, state=CoherenceState.SHARED
+        )
+        lid = home.lineid(home.index_of(addr * _LINE_BYTES), way)
+        encoder.wmt.install(lid, lid)
+        for sig in encoder.extractor.index_signatures(data):
+            encoder.hash_table.insert(sig, lid)
+    return encoder
+
+
+def payload_key(payload):
+    return (
+        payload.kind,
+        payload.line_addr,
+        payload.line_bytes,
+        tuple(int(lid) for lid in payload.remote_lids),
+        payload.block,
+        payload.raw,
+        payload.remotelid_bits,
+        payload.ref_addrs,
+        payload.size_bits,
+    )
+
+
+def search_key(search):
+    return (
+        search.signatures_used,
+        search.candidates_probed,
+        search.data_reads,
+        search.combined_cbv,
+        tuple(
+            (int(r.home_lid), int(r.remote_lid), r.data, r.cbv, r.line_addr)
+            for r in search.references
+        ),
+    )
+
+
+def mutate_both(encoders, data: bytes, salt: int) -> None:
+    """The same state mutation on both twins: install a fresh line,
+    track it in the WMT, index its signatures. This bumps every
+    generation counter the batched search keys its result cache on, so
+    a stale cached outcome would surface as a divergence."""
+    for encoder in encoders:
+        home = encoder.home_cache
+        addr = (10_000 + salt) * _LINE_BYTES
+        way, __ = home.install(addr, data, state=CoherenceState.SHARED)
+        lid = home.lineid(home.index_of(addr), way)
+        encoder.wmt.install(lid, lid)
+        for sig in encoder.extractor.index_signatures(data):
+            encoder.hash_table.insert(sig, lid)
+
+
+def assert_twins_agree(scalar, batched, context) -> None:
+    assert scalar.stats == batched.stats, context
+    assert scalar.hash_table.stats == batched.hash_table.stats, context
+    assert scalar.wmt.stats == batched.wmt.stats, context
+    assert scalar.home_cache.stats == batched.home_cache.stats, context
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    leg=st.sampled_from(LEGS),
+    block_size=st.integers(min_value=1, max_value=17),
+    chunks=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=40), st.booleans()),
+        min_size=1,
+        max_size=4,
+    ),
+    repeat=st.booleans(),
+)
+def test_encode_batch_is_byte_identical(seed, leg, block_size, chunks, repeat):
+    scalar = build_encoder(seed)
+    batched = build_encoder(seed)
+    stream = make_stream(seed + 1, sum(size for size, __ in chunks))
+    if repeat:
+        # A second pass over the same lines drives the steady state the
+        # cross-block result cache serves from.
+        chunks = chunks + chunks
+        stream = stream + stream
+    pos = 0
+    for chunk_index, (size, mutate) in enumerate(chunks):
+        items = [
+            (pos_i * _LINE_BYTES, data, None)
+            for pos_i, data in enumerate(stream[pos : pos + size], start=pos)
+        ]
+        pos += size
+        scalar_out = [scalar.encode(*item) for item in items]
+        batch_out = batched.encode_batch(items, block_size=block_size, backend=leg)
+        assert len(scalar_out) == len(batch_out)
+        for i, (a, b) in enumerate(zip(scalar_out, batch_out)):
+            context = (leg, block_size, chunk_index, i)
+            assert payload_key(a.payload) == payload_key(b.payload), context
+            assert search_key(a.search) == search_key(b.search), context
+        assert_twins_agree(scalar, batched, (leg, block_size, chunk_index))
+        if mutate:
+            # Interleaved state change between chunks: the next chunk's
+            # cached results must be re-derived, not replayed stale.
+            mutate_both((scalar, batched), stream[pos % len(stream)], pos)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    leg=st.sampled_from(LEGS),
+)
+def test_encode_batch_excludes_like_scalar(seed, leg):
+    """``home_lid`` exclusion (fill-path self-reference ban) matches."""
+    scalar = build_encoder(seed)
+    batched = build_encoder(seed)
+    # Re-encode resident lines while excluding their own slots.
+    items = []
+    home = scalar.home_cache
+    for addr, data in enumerate(make_stream(seed, _RESIDENT)):
+        hit = home.lookup(addr * _LINE_BYTES, touch=False)
+        if hit is None:
+            continue
+        lid = home.lineid(home.index_of(addr * _LINE_BYTES), hit[0])
+        items.append((addr * _LINE_BYTES, data, lid))
+    scalar_out = [scalar.encode(*item) for item in items]
+    batch_out = batched.encode_batch(items, block_size=7, backend=leg)
+    for i, (a, b) in enumerate(zip(scalar_out, batch_out)):
+        assert payload_key(a.payload) == payload_key(b.payload), (leg, i)
+        assert search_key(a.search) == search_key(b.search), (leg, i)
+    assert_twins_agree(scalar, batched, leg)
+
+
+def test_memlink_batch_warm_is_byte_identical():
+    """The simulation's look-ahead warm changes throughput only."""
+    from repro.sim.memlink import MemLinkConfig, run_memlink
+
+    def run(batch_lines: int):
+        result = run_memlink(
+            "omnetpp",
+            MemLinkConfig(
+                accesses=2000,
+                llc_bytes=32 * 1024,
+                l4_bytes=128 * 1024,
+                ws_scale=0.03125,
+                batch_lines=batch_lines,
+            ),
+        )
+        return (
+            result.accesses,
+            result.raw_bits,
+            result.payload_bits,
+            result.flits,
+            result.search_data_reads,
+            result.encodes,
+            result.with_references,
+            result.reference_count,
+            tuple(result.per_transfer_bits),
+        )
+
+    baseline = run(0)
+    assert run(64) == baseline
+    assert run(5) == baseline

@@ -19,10 +19,13 @@ from repro.core.config import CableConfig
 from repro.core.signature import H3Hash, SignatureExtractor
 from repro.util.kernels import (
     HAVE_NUMPY,
+    BatchLines,
     _count_toggles_pure,
     _line_match_mask_pure,
     _popcount_pure,
     _trivial_mask_pure,
+    batch_backend,
+    batch_match_masks,
     count_toggles,
     line_match_mask,
     line_words,
@@ -162,6 +165,139 @@ def test_count_toggles_known_values():
     # 0 -> 0b1111 -> 0 -> 0b1010: 4 + 4 + 2 toggles.
     assert count_toggles([0b1111, 0, 0b1010]) == 10
     assert count_toggles([], previous=7) == 0
+
+
+# ----------------------------------------------------------------------
+# Batched-across-lines primitives
+# ----------------------------------------------------------------------
+
+#: Legs the batch entry points can pin in-process.
+batch_legs = ("numpy", "pure") if HAVE_NUMPY else ("pure",)
+
+#: Blocks of equal-length, word-aligned lines (BatchLines contract).
+line_blocks = st.integers(min_value=1, max_value=16).flatmap(
+    lambda words: st.lists(
+        st.binary(min_size=words * 4, max_size=words * 4),
+        min_size=1,
+        max_size=12,
+    )
+)
+
+
+@pytest.mark.parametrize("leg", batch_legs)
+@given(lines=line_blocks)
+@settings(max_examples=40)
+def test_batch_lines_matches_per_line_kernels(leg, lines):
+    batch = BatchLines(lines, backend=leg)
+    assert batch.count == len(lines)
+    for i, line in enumerate(lines):
+        assert tuple(batch.words[i]) == line_words(line)
+        assert batch.tmasks[i] == trivial_mask(line)
+
+
+@pytest.mark.parametrize("threshold", [16, 24, 28])
+@pytest.mark.parametrize("leg", batch_legs)
+def test_batch_lines_threshold_matches_trivial_mask(leg, threshold):
+    lines = [
+        struct.pack("<16I", *((i * j * 2654435761 + j) & 0xFFFFFFFF for j in range(16)))
+        for i in range(8)
+    ]
+    batch = BatchLines(lines, trivial_threshold_bits=threshold, backend=leg)
+    for i, line in enumerate(lines):
+        assert batch.tmasks[i] == trivial_mask(line, threshold)
+
+
+def test_batch_lines_rejects_ragged_blocks():
+    with pytest.raises(ValueError):
+        BatchLines([b"\x00" * 8, b"\x00" * 12])
+    with pytest.raises(ValueError):
+        BatchLines([b"abc"])
+    with pytest.raises(ValueError):
+        BatchLines([])
+
+
+@pytest.mark.parametrize("leg", batch_legs)
+@given(
+    line=st.binary(min_size=16, max_size=16),
+    candidates=st.lists(st.binary(min_size=16, max_size=16), max_size=8),
+)
+@settings(max_examples=40)
+def test_batch_match_masks_matches_pairwise(leg, line, candidates):
+    expected = [line_match_mask(line, candidate) for candidate in candidates]
+    assert batch_match_masks(line, candidates, backend=leg) == expected
+
+
+def test_batch_match_masks_handles_ragged_candidates():
+    line = bytes(range(16))
+    candidates = [bytes(range(16)), bytes(range(8))]
+    expected = [line_match_mask(line, candidate) for candidate in candidates]
+    assert batch_match_masks(line, candidates) == expected
+
+
+def test_batch_backend_resolution():
+    assert batch_backend() in ("numpy", "pure")
+    assert batch_backend("pure") == "pure"
+    with pytest.raises(ValueError):
+        batch_backend("simd")
+    if not HAVE_NUMPY:
+        with pytest.raises(ValueError):
+            batch_backend("numpy")
+
+
+@needs_numpy
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=64
+    )
+)
+def test_popcount_array_matches_popcount32(values):
+    import numpy as np
+
+    from repro.util.kernels import popcount_array
+
+    arr = np.array(values, dtype=np.uint32)
+    assert popcount_array(arr).tolist() == [popcount32(v) for v in values]
+
+
+@needs_numpy
+@given(
+    st.integers(min_value=1, max_value=20).flatmap(
+        lambda words: st.tuples(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=0xFFFFFFFF),
+                    min_size=words,
+                    max_size=words,
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=0xFFFFFFFF),
+                    min_size=words,
+                    max_size=words,
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+        )
+    )
+)
+@settings(max_examples=40)
+def test_match_mask_rows_matches_match_mask(rows):
+    import numpy as np
+
+    from repro.util.kernels import match_mask_rows
+
+    targets, candidates = rows
+    n = min(len(targets), len(candidates))
+    target_m = np.array(targets[:n], dtype=np.uint32)
+    cand_m = np.array(candidates[:n], dtype=np.uint32)
+    expected = [
+        match_mask(t, c) for t, c in zip(targets[:n], candidates[:n])
+    ]
+    assert match_mask_rows(target_m, cand_m) == expected
 
 
 # ----------------------------------------------------------------------

@@ -88,10 +88,22 @@ def check_serving(summary):
         yield "graceful drain did not end with every audit clean"
 
 
+def check_hotpath_batch(summary):
+    if summary.get("scalar_identical") != 1:
+        yield "batched encode payloads diverged from the scalar path"
+    if summary.get("stats_identical") != 1:
+        yield "batched encode stats diverged from the scalar path"
+    if summary.get("lines", 0) < 1000:
+        yield "equivalence verdict covered fewer than 1000 lines"
+    if summary.get("block_size", 0) < 2:
+        yield "batched run degenerated to per-line blocks"
+
+
 CHECKS = {
     "resilience": check_resilience,
     "crash_recovery": check_crash_recovery,
     "serving": check_serving,
+    "hotpath_batch": check_hotpath_batch,
 }
 
 
