@@ -1,0 +1,16 @@
+"""Failover campaign — kill the primary under live client traffic."""
+
+from conftest import run_experiment
+from repro.experiments import failover
+
+
+def test_failover(benchmark, scale):
+    result = run_experiment(benchmark, failover.run, "failover", scale=scale)
+    assert result.summary["silent_corruptions"] == 0
+    assert result.summary["kills"] > 0
+    assert result.summary["hot_promotions"] > 0
+    assert result.summary["warm_promotions"] > 0
+    assert result.summary["catch_ups"] > 0
+    assert result.summary["lag_bounded"] == 1
+    assert result.summary["p99_blip_bounded"] == 1
+    assert result.summary["drained_clean"] == 1

@@ -41,6 +41,7 @@ EXPERIMENTS = {
     "ablations": ("repro.experiments.ablations", True),
     "resilience": ("repro.experiments.resilience", True),
     "serving": ("repro.experiments.serving", False),
+    "failover": ("repro.experiments.failover", False),
 }
 
 

@@ -43,8 +43,20 @@ __all__ = [
     "CableRemoteDecoder",
     "DecompressionError",  # canonical home is repro.core.errors
     "EncodeOutcome",
+    "FailoverOutcome",
     "TransferRecord",
 ]
+
+
+@dataclass(frozen=True)
+class FailoverOutcome:
+    """What one standby promotion achieved."""
+
+    #: True when both sides promoted replay-grade (clean standby, no
+    #: backlog lost); False when the auditor had to reconcile.
+    hot: bool
+    #: Journaled records the asynchronous replication lag cost us.
+    lost_records: int
 
 
 def _make_reference_engine(name: str) -> ReferenceCompressor:
@@ -554,6 +566,9 @@ class CableLinkPair:
         self._resync_session = None
         if config.durability is not None:
             self._arm_durability(config.durability)
+        # Warm-standby replication (repro.replica): armed on demand via
+        # arm_replication(); maps side -> Replicator.
+        self.replicators = None
         pair.add_observer(self._on_event)
 
     def _arm_durability(self, policy) -> None:
@@ -757,7 +772,11 @@ class CableLinkPair:
                 layer.health.bump("breaker_recoveries")
         elif breaker.record(not delivery.degraded):
             layer.health.bump("breaker_trips")
-            if layer.policy.resync_on_trip:
+            if layer.policy.failover_on_trip and self.replicators:
+                # A tripping primary is a failing primary: promote the
+                # warm standby instead of limping through cooldown.
+                self.failover()
+            elif layer.policy.resync_on_trip:
                 # A real link would retrain; the model re-audits and
                 # repairs WMT/hash state so the post-cooldown window
                 # starts from synchronized metadata.
@@ -922,6 +941,106 @@ class CableLinkPair:
             self._step_resync()
             steps += 1
         return steps
+
+    # ------------------------------------------------------------------
+    # Warm-standby replication / failover (repro.replica)
+    # ------------------------------------------------------------------
+
+    def arm_replication(self, policy=None, ship_faults=None):
+        """Attach a warm standby to each endpoint's metadata journal.
+
+        *policy* is a :class:`repro.replica.plan.ReplicationPolicy`
+        (defaulted); *ship_faults* optionally maps side name to a
+        stream-sabotage hook (see :class:`repro.replica.replicator.
+        Replicator`). Requires the durability managers — replication
+        ships the journal they maintain. Returns the replicator map.
+        """
+        from repro.replica.plan import ReplicationPolicy
+        from repro.replica.replicator import Replicator
+
+        if self.home_state is None or self.remote_state is None:
+            raise RuntimeError(
+                "replication requires durability (set config.durability)"
+            )
+        policy = policy or ReplicationPolicy()
+        hooks = ship_faults or {}
+        self.replicators = {
+            "home": Replicator(self.home_state, policy, hooks.get("home")),
+            "remote": Replicator(self.remote_state, policy, hooks.get("remote")),
+        }
+        return self.replicators
+
+    def failover(self) -> "FailoverOutcome":
+        """Kill the primary's metadata and promote the warm standby.
+
+        Unlike :meth:`crash_endpoint`, nothing is restored from the
+        primary's persistent store — the machine is gone. Both sides'
+        volatile structures are wiped and replaced with the standby's
+        mirror image; the existing HELLO/EPOCH handshake then
+        adjudicates the image exactly as it would a crash restore: a
+        *clean* standby (every shipped record applied in order, empty
+        backlog) is replay-grade — the journal tee guarantees it saw
+        every op the peer's frames carried — while a lossy one (lag at
+        kill, un-healed gap) is not trusted and the promotion is
+        reconciled against cache ground truth by the §III-F auditor.
+        Each manager checkpoints on the promoted image, bumping the
+        epoch — live sessions observe the bump and stale resumes are
+        redirected through the resync-before-grant path. Finally the
+        replicators reseed, the old primary rejoining as the new
+        standby.
+        """
+        from repro.link.recovery import EpochResync
+        from repro.state.manager import RestoreResult
+
+        if not self.replicators:
+            raise RuntimeError("failover requires arm_replication() first")
+        layer = self.recovery_layer
+        if layer is None:
+            raise RuntimeError("failover requires the framed link")
+        layer.health.bump("failovers")
+        lost_total = 0
+        hot = True
+        for side in ("home", "remote"):
+            manager = self.home_state if side == "home" else self.remote_state
+            replicator = self.replicators[side]
+            expected = manager.expected_progress()
+            lost, clean, sections = replicator.kill_primary()
+            lost_total += lost
+            self._wipe_volatile(side)
+            manager.suspended = True
+            try:
+                for name, image in sections.items():
+                    manager.structures[name].restore_state(image)
+            finally:
+                manager.suspended = False
+            standby = replicator.standby
+            promoted = RestoreResult(
+                base_epoch=standby.applied_progress[0],
+                records_replayed=standby.stats["records_applied"],
+                replay_bits=standby.stats["bits_applied"],
+                complete=clean,
+            )
+            progress = expected if clean else standby.applied_progress
+            handshake = EpochResync(layer.policy, layer.health)
+            if handshake.reconnect((progress, promoted), expected) != "replay":
+                hot = False
+            manager.checkpoint()
+        layer.health.bump("replication_lost_records", lost_total)
+        if hot:
+            layer.health.bump("hot_promotions")
+        else:
+            layer.health.bump("warm_promotions")
+            # The standby image predates the lost journal tail; the
+            # auditor repairs it against the surviving cache arrays and
+            # re-baselines the managers.
+            self.resync()
+        for replicator in self.replicators.values():
+            replicator.reseed()
+        if METRICS.enabled:
+            METRICS.counter(
+                "replica.promotions_hot" if hot else "replica.promotions_warm"
+            ).inc()
+        return FailoverOutcome(hot=hot, lost_records=lost_total)
 
     @property
     def health(self) -> dict:

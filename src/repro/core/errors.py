@@ -103,3 +103,25 @@ class JournalReplayError(StateRecoveryError):
     the present (records were truncated past the snapshot's epoch, or
     the journal itself failed validation). The restore degrades to
     incremental audit-rebuild."""
+
+
+class ReplicationError(StateRecoveryError):
+    """Base class for warm-standby replication failures
+    (:mod:`repro.replica`). Like its siblings these surface on the
+    replication control path, never while a payload is decoding — a
+    standby that cannot keep up degrades to snapshot catch-up, it does
+    not corrupt traffic."""
+
+
+class BatchIntegrityError(ReplicationError):
+    """A shipped journal batch failed its checksum or structural
+    validation (torn/truncated/bit-flipped on the replication stream).
+    The standby discards it and requests snapshot catch-up — a damaged
+    batch is never half-applied."""
+
+
+class BatchGapError(ReplicationError):
+    """Journal batches arrived out of sequence (a batch was dropped or
+    reordered on the replication stream). Applying across a gap would
+    silently diverge, so the standby refuses and requests snapshot
+    catch-up instead."""

@@ -85,6 +85,7 @@ def run(
             "accesses",
             "frames",
             "nacks",
+            "retransmits",
             "backpressure",
             "silent",
             "p50_ms",
@@ -109,6 +110,7 @@ def run(
                 report.accesses,
                 report.frames,
                 report.nacks,
+                report.retransmits,
                 report.backpressure,
                 report.silent_corruptions,
                 report.p50_ms,

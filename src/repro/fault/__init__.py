@@ -14,12 +14,15 @@ __all__ = [
     "ChannelFaultInjector",
     "CrashCampaignReport",
     "CrashFaultInjector",
+    "FailoverCampaignReport",
+    "FailoverInjector",
     "FaultPlan",
     "RecoveryPolicy",
     "StateFaultInjector",
     "WireFaultInjector",
     "run_campaign",
     "run_crash_campaign",
+    "run_failover_campaign",
 ]
 
 _LAZY = {
@@ -27,10 +30,13 @@ _LAZY = {
     "ChannelFaultInjector": "repro.fault.injectors",
     "StateFaultInjector": "repro.fault.injectors",
     "CrashFaultInjector": "repro.fault.injectors",
+    "FailoverInjector": "repro.fault.injectors",
     "CampaignReport": "repro.fault.campaign",
     "run_campaign": "repro.fault.campaign",
     "CrashCampaignReport": "repro.fault.campaign",
     "run_crash_campaign": "repro.fault.campaign",
+    "FailoverCampaignReport": "repro.fault.campaign",
+    "run_failover_campaign": "repro.fault.campaign",
 }
 
 

@@ -172,6 +172,10 @@ class StateFaultInjector:
                 home_way=(entry.home_way + 1) % wmt.home.ways
             )
         wmt._entries[index][way] = twisted
+        # Direct-array sabotage bypasses install(): bump the generation
+        # so the batch pipeline's cross-block cache re-derives instead
+        # of replaying the pre-twist referencability.
+        wmt.generation += 1
         self.stats["stale_wmt"] += 1
         return 1
 
@@ -306,3 +310,61 @@ class CrashFaultInjector:
     @property
     def faults_injected(self) -> int:
         return self.stats["home_crashes"] + self.stats["remote_crashes"]
+
+
+class FailoverInjector:
+    """Kills the replicated primary and sabotages the standby stream.
+
+    Two independent RNG streams derived from the
+    :class:`~repro.replica.plan.FailoverPlan` seed keep the campaign
+    repeatable: ``decide_kill`` is rolled once per completed access
+    (scripted kill points fire exactly once each, then ``kill_rate``
+    rolls a randomized kill), and ``ship`` sits on the replication
+    channel as the :class:`~repro.replica.replicator.Replicator`
+    ``ship_fault`` hook, losing or corrupting encoded journal batches
+    so the standby's checksum/gap detection machinery is exercised
+    under real traffic.
+    """
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self._kill_rng = make_rng(plan.seed, "failover-kill")
+        self._ship_rng = make_rng(plan.seed, "failover-ship")
+        self._scripted = set(plan.scripted_kills)
+        self.stats = {
+            "scripted_kills": 0,
+            "random_kills": 0,
+            "batches_dropped": 0,
+            "batches_corrupted": 0,
+        }
+
+    def decide_kill(self, access_index: int) -> bool:
+        """Should the primary die right after access *access_index*?"""
+        if access_index in self._scripted:
+            # Scripted points fire once: a campaign that replays the
+            # same ordinal later gets the randomized schedule only.
+            self._scripted.discard(access_index)
+            self.stats["scripted_kills"] += 1
+            return True
+        if self.plan.kill_rate and self._kill_rng.random() < self.plan.kill_rate:
+            self.stats["random_kills"] += 1
+            return True
+        return False
+
+    def ship(self, blob: bytes) -> Optional[bytes]:
+        """Deliver, lose, or corrupt one encoded journal batch."""
+        rng = self._ship_rng
+        plan = self.plan
+        if plan.batch_drop_rate and rng.random() < plan.batch_drop_rate:
+            self.stats["batches_dropped"] += 1
+            return None
+        if plan.batch_corrupt_rate and rng.random() < plan.batch_corrupt_rate:
+            self.stats["batches_corrupted"] += 1
+            index = rng.randrange(len(blob))
+            flip = 1 << rng.randrange(8)
+            return blob[:index] + bytes([blob[index] ^ flip]) + blob[index + 1 :]
+        return blob
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.stats.values())

@@ -125,6 +125,10 @@ class RecoveryPolicy:
     #: Run the §III-F state auditor in repair mode when the breaker
     #: trips (re-synchronizing WMT/hash state like a real link retrain).
     resync_on_trip: bool = True
+    #: Treat a breaker trip as a failing primary and fail over to the
+    #: warm standby (requires replication armed on the link pair);
+    #: takes precedence over ``resync_on_trip`` when both apply.
+    failover_on_trip: bool = False
 
     def __post_init__(self) -> None:
         if self.crc_bits not in (8, 16):

@@ -104,6 +104,11 @@ class LinkHealth:
         "rebuild_traffic_bits",
         "resync_traffic_bits",
         "recovery_transfers",
+        # -- replication / failover (repro.replica) ---------------------
+        "failovers",
+        "hot_promotions",
+        "warm_promotions",
+        "replication_lost_records",
     )
 
     def __init__(self) -> None:

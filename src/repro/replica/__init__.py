@@ -1,0 +1,32 @@
+"""Warm-standby replication for endpoint metadata (availability).
+
+PR 3's snapshot/journal/epoch machinery restarts a crashed endpoint
+from its *own* persistent store — a recovery story. This package turns
+it into an availability story: a standby endpoint asynchronously
+consumes the primary's epoch-tagged :class:`~repro.state.journal.
+MetadataJournal` as checksummed, sequence-numbered batches (bounded
+lag), detects torn/dropped/reordered batches by checksum or sequence
+gap and falls back to snapshot-based catch-up, and can be *promoted*
+mid-traffic when the primary dies — the old primary then rejoins as
+the new standby.
+
+Layering: this package depends on :mod:`repro.state` and
+:mod:`repro.core.errors` only. The link layer
+(:class:`repro.core.encoder.CableLinkPair`) arms it and drives
+failover; the serve layer threads promotion through live sessions.
+"""
+
+from repro.replica.batch import JournalBatch, decode_batch, encode_batch
+from repro.replica.plan import FailoverPlan, ReplicationPolicy
+from repro.replica.replicator import Replicator
+from repro.replica.standby import StandbyReplica
+
+__all__ = [
+    "FailoverPlan",
+    "JournalBatch",
+    "ReplicationPolicy",
+    "Replicator",
+    "StandbyReplica",
+    "decode_batch",
+    "encode_batch",
+]

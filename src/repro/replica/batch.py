@@ -1,0 +1,181 @@
+"""Wire codec for shipped journal batches.
+
+A batch is the unit of asynchronous replication: up to
+``ReplicationPolicy.batch_records`` consecutive
+:class:`~repro.state.journal.JournalRecord` entries, prefixed with a
+monotonic sequence number and the primary's ``(epoch, records)``
+progress at cut time, and guarded end-to-end by a CRC32. The standby
+accepts a batch only when the checksum verifies *and* the sequence
+number is exactly the one it expects — anything else
+(:class:`~repro.core.errors.BatchIntegrityError`,
+:class:`~repro.core.errors.BatchGapError`) forces snapshot catch-up.
+Like the snapshot container, the parse is paranoid: trailing bytes are
+corruption, not slack.
+
+Layout (all integers little-endian)::
+
+    header   magic(4s) | version(u16) | seq(u32) | epoch(u32)
+             | records(u32) | count(u16)
+    record   epoch(u32) | op(u8) | bits(u32) | argc(u8) | args...
+    arg      tag(u8) | u64                  (tag 0: int)
+             tag(u8) | len(u32) | bytes     (tag 1: bytes)
+    trailer  crc32(u32) over everything before it
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.errors import BatchIntegrityError, ReplicationError
+from repro.state.journal import JournalRecord
+
+MAGIC = b"CBRB"
+VERSION = 1
+
+#: Journal op names <-> wire op codes. Order is part of the format.
+OPS = (
+    "wmt_install",
+    "wmt_inval_remote",
+    "wmt_inval_home",
+    "hash_insert",
+    "hash_remove",
+    "evict_record",
+    "evict_ack",
+)
+_OP_CODE = {name: code for code, name in enumerate(OPS)}
+
+_HEADER = struct.Struct("<4sHIIIH")
+_RECORD = struct.Struct("<IBIB")
+_INT = struct.Struct("<Q")
+_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+
+_ARG_INT = 0
+_ARG_BYTES = 1
+
+
+@dataclass(frozen=True)
+class JournalBatch:
+    """One shipped slice of the primary's metadata journal."""
+
+    #: Monotonic per-channel sequence number (gap/reorder detection).
+    seq: int
+    #: Primary ``(epoch, journal length)`` when the batch was cut.
+    progress: Tuple[int, int]
+    records: Tuple[JournalRecord, ...]
+
+    @property
+    def bits(self) -> int:
+        """Modelled wire cost of the records riding this batch."""
+        return sum(record.bits for record in self.records)
+
+
+def encode_batch(batch: JournalBatch) -> bytes:
+    """Serialize a batch into one CRC-guarded blob."""
+    parts = [
+        _HEADER.pack(
+            MAGIC,
+            VERSION,
+            batch.seq & 0xFFFFFFFF,
+            batch.progress[0] & 0xFFFFFFFF,
+            batch.progress[1] & 0xFFFFFFFF,
+            len(batch.records),
+        )
+    ]
+    for record in batch.records:
+        code = _OP_CODE.get(record.op)
+        if code is None:
+            raise ReplicationError(f"unshippable journal op {record.op!r}")
+        parts.append(
+            _RECORD.pack(record.epoch & 0xFFFFFFFF, code, record.bits, len(record.args))
+        )
+        for arg in record.args:
+            if isinstance(arg, (bytes, bytearray)):
+                parts.append(bytes([_ARG_BYTES]))
+                parts.append(_LEN.pack(len(arg)))
+                parts.append(bytes(arg))
+            elif isinstance(arg, int):
+                if not 0 <= arg < 1 << 64:
+                    raise ReplicationError(f"journal arg {arg} outside u64")
+                parts.append(bytes([_ARG_INT]))
+                parts.append(_INT.pack(arg))
+            else:
+                raise ReplicationError(
+                    f"unshippable journal arg type {type(arg).__name__}"
+                )
+    body = b"".join(parts)
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_batch(blob: bytes) -> JournalBatch:
+    """Parse and fully verify a shipped batch.
+
+    Raises :class:`~repro.core.errors.BatchIntegrityError` on any
+    checksum or structural failure — a damaged batch is rejected
+    whole, never half-applied.
+    """
+    try:
+        return _decode_batch(blob)
+    except BatchIntegrityError:
+        raise
+    except (struct.error, ValueError, IndexError) as exc:
+        raise BatchIntegrityError(f"batch unparseable: {exc}") from exc
+
+
+def _decode_batch(blob: bytes) -> JournalBatch:
+    if len(blob) < _HEADER.size + _CRC.size:
+        raise BatchIntegrityError(f"batch too short ({len(blob)} bytes)")
+    (stored,) = _CRC.unpack_from(blob, len(blob) - _CRC.size)
+    body = blob[: -_CRC.size]
+    computed = zlib.crc32(body)
+    if stored != computed:
+        raise BatchIntegrityError(
+            f"batch CRC {stored:#x} != computed {computed:#x}"
+        )
+    magic, version, seq, epoch, records_len, count = _HEADER.unpack_from(body, 0)
+    if magic != MAGIC:
+        raise BatchIntegrityError(f"bad batch magic {magic!r}")
+    if version != VERSION:
+        raise BatchIntegrityError(f"unsupported batch version {version}")
+    offset = _HEADER.size
+    records: List[JournalRecord] = []
+    for _ in range(count):
+        if offset + _RECORD.size > len(body):
+            raise BatchIntegrityError("batch truncated in record header")
+        rec_epoch, code, bits, argc = _RECORD.unpack_from(body, offset)
+        offset += _RECORD.size
+        if code >= len(OPS):
+            raise BatchIntegrityError(f"unknown batch op code {code}")
+        args: List[object] = []
+        for _ in range(argc):
+            if offset + 1 > len(body):
+                raise BatchIntegrityError("batch truncated in arg tag")
+            tag = body[offset]
+            offset += 1
+            if tag == _ARG_INT:
+                if offset + _INT.size > len(body):
+                    raise BatchIntegrityError("batch truncated in int arg")
+                (value,) = _INT.unpack_from(body, offset)
+                offset += _INT.size
+                args.append(value)
+            elif tag == _ARG_BYTES:
+                if offset + _LEN.size > len(body):
+                    raise BatchIntegrityError("batch truncated in bytes length")
+                (length,) = _LEN.unpack_from(body, offset)
+                offset += _LEN.size
+                payload = body[offset : offset + length]
+                if len(payload) != length:
+                    raise BatchIntegrityError("batch truncated in bytes arg")
+                offset += length
+                args.append(payload)
+            else:
+                raise BatchIntegrityError(f"unknown batch arg tag {tag}")
+        records.append(JournalRecord(rec_epoch, OPS[code], tuple(args), bits))
+    if offset != len(body):
+        raise BatchIntegrityError(
+            f"{len(body) - offset} trailing bytes after last record"
+        )
+    return JournalBatch(seq=seq, progress=(epoch, records_len), records=tuple(records))

@@ -1,0 +1,244 @@
+"""The replication channel: journal tee -> batches -> warm standby.
+
+One :class:`Replicator` couples one primary
+:class:`~repro.state.manager.EndpointStateManager` to one
+:class:`~repro.replica.standby.StandbyReplica`:
+
+- it subscribes to the primary journal's append tee, so shipping never
+  depends on the journal's retention window (a record truncated by a
+  checkpoint was already offered for shipping);
+- whenever the backlog reaches ``ReplicationPolicy.max_lag_records``
+  it cuts checksummed, sequence-numbered batches and delivers them —
+  the lag bound is structural, not best-effort;
+- a delivery refused by the standby (checksum, gap) triggers snapshot
+  catch-up cut from the primary's *live* structures;
+- :meth:`kill_primary` models the primary dying: the un-shipped
+  backlog is lost (that is exactly the replication lag), the standby
+  is promoted, and the caller restores its image into the live
+  structures. :meth:`reseed` then builds a fresh standby from the
+  promoted image — the old primary rejoining as the new standby.
+
+The ``ship_fault`` hook lets the fault layer sabotage the stream
+(dropped/corrupted batches); the standby's detection machinery is the
+thing under test there, so faults are applied to the encoded bytes,
+after accounting, exactly like wire injectors.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.registry import METRICS
+from repro.obs.tracer import trace
+from repro.core.errors import ReplicationError
+from repro.replica.batch import JournalBatch, encode_batch
+from repro.replica.plan import ReplicationPolicy
+from repro.replica.standby import StandbyReplica
+from repro.state.journal import JournalRecord
+from repro.state.manager import EndpointStateManager
+from repro.state.snapshot import write_snapshot
+
+
+def _mirror_structures(structures: Dict[str, object]) -> Dict[str, object]:
+    """Deep-copy a structure set with its journal hooks detached.
+
+    The hooks are bound methods of the primary's state manager;
+    copying through them would clone the whole durability stack. The
+    mirrors must not journal anyway — the standby replays, it does
+    not originate.
+    """
+    mirrors: Dict[str, object] = {}
+    for name, structure in structures.items():
+        hook = getattr(structure, "journal", None)
+        if hook is not None:
+            structure.journal = None
+        try:
+            clone = copy.deepcopy(structure)
+        finally:
+            if hook is not None:
+                structure.journal = hook
+        if hasattr(clone, "journal"):
+            clone.journal = None
+        mirrors[name] = clone
+    return mirrors
+
+
+class Replicator:
+    """Asynchronous journal shipping from one primary to one standby."""
+
+    def __init__(
+        self,
+        manager: EndpointStateManager,
+        policy: ReplicationPolicy,
+        ship_fault: Optional[Callable[[bytes], Optional[bytes]]] = None,
+    ) -> None:
+        self.manager = manager
+        self.policy = policy
+        #: Stream sabotage hook: takes the encoded batch, returns the
+        #: (possibly corrupted) bytes to deliver, or ``None`` for a
+        #: batch lost in flight.
+        self.ship_fault = ship_fault
+        self._pending: list[JournalRecord] = []
+        self._next_seq = 0
+        self.standby = self._seed_standby()
+        manager.journal.on_append = self._on_append
+        self.stats = {
+            "batches_shipped": 0,
+            "records_shipped": 0,
+            "bytes_shipped": 0,
+            "bits_shipped": 0,
+            "batches_lost": 0,
+            "catch_ups": 0,
+            "catch_up_bytes": 0,
+            "lag_peak": 0,
+            "lost_records": 0,
+            "reseeds": 0,
+        }
+        self._obs = METRICS
+        self._gauge_lag = METRICS.gauge(f"replica.{manager.name}.lag")
+
+    # ------------------------------------------------------------------
+    # Seeding / reseeding
+    # ------------------------------------------------------------------
+
+    def _seed_standby(self) -> StandbyReplica:
+        return StandbyReplica(
+            f"{self.manager.name}-standby",
+            _mirror_structures(self.manager.structures),
+            self.manager.expected_progress(),
+        )
+
+    def reseed(self) -> None:
+        """Rejoin path: build a fresh standby from the current (just
+        promoted) live image and restart the batch sequence."""
+        self._pending.clear()
+        self._next_seq = 0
+        self.standby = self._seed_standby()
+        self.stats["reseeds"] += 1
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    @property
+    def lag_records(self) -> int:
+        """Records journaled on the primary but not yet shipped."""
+        return len(self._pending)
+
+    def _on_append(self, record: JournalRecord) -> None:
+        self._pending.append(record)
+        lag = len(self._pending)
+        if lag > self.stats["lag_peak"]:
+            self.stats["lag_peak"] = lag
+        if self._obs.enabled:
+            self._gauge_lag.set(lag)
+        if lag >= self.policy.max_lag_records:
+            self.pump()
+
+    def pump(self, force: bool = False) -> int:
+        """Cut and deliver pending records as batches.
+
+        Ships ``batch_records``-sized batches while the backlog
+        warrants it; with ``force=True`` the final partial batch is
+        shipped too (graceful drain). Returns batches shipped.
+        """
+        shipped = 0
+        while self._pending and (
+            len(self._pending) >= self.policy.batch_records or force
+        ):
+            cut = self._pending[: self.policy.batch_records]
+            del self._pending[: len(cut)]
+            # The batch's progress is the journal position through the
+            # *end of this cut* — not the primary's current head, which
+            # still includes the un-shipped backlog. The distinction is
+            # what makes hot-promotion adjudication sound: a standby
+            # that missed the final batch of a pump must not be able to
+            # claim the primary's full progress.
+            epoch, total = self.manager.expected_progress()
+            batch = JournalBatch(
+                seq=self._next_seq,
+                progress=(epoch, total - len(self._pending)),
+                records=tuple(cut),
+            )
+            self._next_seq += 1
+            blob = encode_batch(batch)
+            self.stats["batches_shipped"] += 1
+            self.stats["records_shipped"] += len(cut)
+            self.stats["bytes_shipped"] += len(blob)
+            self.stats["bits_shipped"] += batch.bits
+            shipped += 1
+            delivered: Optional[bytes] = blob
+            if self.ship_fault is not None:
+                delivered = self.ship_fault(blob)
+            if delivered is None:
+                # Lost in flight: the standby discovers the hole as a
+                # sequence gap on the next delivery (or at promotion).
+                self.stats["batches_lost"] += 1
+                continue
+            try:
+                self.standby.consume(delivered)
+            except ReplicationError:
+                self.catch_up()
+        if self._obs.enabled:
+            self._gauge_lag.set(len(self._pending))
+        return shipped
+
+    def catch_up(self) -> None:
+        """Resynchronize the standby from a fresh snapshot cut.
+
+        The snapshot is cut from the *live* structures, whose state
+        already includes every journaled record — shipped or still
+        pending — so the backlog is dropped too: shipping it afterwards
+        would double-apply its effects on top of the snapshot.
+        """
+        with trace("replica.catch_up"):
+            sections = {
+                name: structure.snapshot_state()
+                for name, structure in self.manager.structures.items()
+            }
+            blob = write_snapshot(self.manager.epoch, sections)
+            self._pending.clear()
+            self.standby.catch_up(
+                blob, self.manager.expected_progress(), self._next_seq
+            )
+            self.stats["catch_ups"] += 1
+            self.stats["catch_up_bytes"] += len(blob)
+        if self._obs.enabled:
+            self._gauge_lag.set(0)
+            METRICS.counter("replica.catch_ups").inc()
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def kill_primary(self) -> Tuple[int, bool, Dict[str, bytes]]:
+        """The primary dies: lose the un-shipped backlog and promote.
+
+        Returns ``(lost_records, clean, sections)`` — how many
+        journaled records the asynchronous lag cost us, whether the
+        standby had applied every shipped record in order (the hot-
+        promotion precondition), and the promoted per-structure image
+        to restore into the live structures.
+        """
+        lost = len(self._pending)
+        self._pending.clear()
+        self.stats["lost_records"] += lost
+        # Hot iff the standby provably applied *everything* the primary
+        # journaled: in-order with no refusals, an empty backlog, and a
+        # progress match — the last clause catches a lost final batch
+        # whose gap no later delivery ever exposed.
+        clean = (
+            self.standby.clean
+            and lost == 0
+            and self.standby.applied_progress == self.manager.expected_progress()
+        )
+        sections = self.standby.promote()
+        if self._obs.enabled:
+            self._gauge_lag.set(0)
+        return lost, clean, sections
+
+    def detach(self) -> None:
+        """Unhook from the primary journal (teardown)."""
+        if self.manager.journal.on_append == self._on_append:
+            self.manager.journal.on_append = None

@@ -1,0 +1,158 @@
+"""The warm standby: a mirrored structure set fed by journal batches.
+
+A :class:`StandbyReplica` owns *mirror* instances of one endpoint's
+metadata structures (home side: WMT + hash table + breaker; remote
+side: hash table + eviction buffer) and moves through a three-state
+machine::
+
+    standby ----consume(batch)----> standby        (applied cleanly)
+    standby --checksum/seq fault--> catching_up    (batch refused)
+    catching_up --catch_up(snap)--> standby        (image replaced)
+    standby/catching_up -promote()-> promoted      (terminal)
+
+While ``standby``, batches are applied through the same
+:func:`repro.state.manager.apply_record` dispatch the crash-restore
+path uses, so a clean standby is record-for-record the image a
+journal replay would have produced. Any integrity or sequencing fault
+flips it to ``catching_up``: it refuses every further batch until a
+checksummed snapshot replaces its image wholesale — a standby never
+applies across damage, so it can be stale but never silently wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import BatchGapError, BatchIntegrityError, ReplicationError
+from repro.replica.batch import decode_batch
+from repro.state.manager import apply_record
+from repro.state.snapshot import read_snapshot
+
+
+class StandbyReplica:
+    """Mirror structure set consuming the primary's journal stream."""
+
+    def __init__(
+        self,
+        name: str,
+        structures: Dict[str, object],
+        progress: Tuple[int, int],
+    ) -> None:
+        """*structures* are mirror instances already seeded to the
+        primary's image as of *progress* (the seed is itself a
+        snapshot-shaped transfer; :class:`~repro.replica.replicator.
+        Replicator` cuts it)."""
+        self.name = name
+        self.structures = dict(structures)
+        self.state = "standby"
+        #: Primary ``(epoch, records)`` this mirror has reached.
+        self.applied_progress = progress
+        #: Next batch sequence number the mirror will accept.
+        self.next_seq = 0
+        self.stats = {
+            "batches_applied": 0,
+            "records_applied": 0,
+            "bits_applied": 0,
+            "integrity_failures": 0,
+            "gaps_detected": 0,
+            "catch_ups": 0,
+            "promotions": 0,
+        }
+
+    @property
+    def clean(self) -> bool:
+        """True while every shipped record has been applied in order —
+        the precondition for a hot (replay-grade) promotion."""
+        return self.state == "standby"
+
+    def consume(self, blob: bytes) -> int:
+        """Verify and apply one shipped batch; returns records applied.
+
+        Raises :class:`~repro.core.errors.BatchIntegrityError` on a
+        checksum/parse failure, :class:`~repro.core.errors.
+        BatchGapError` on an out-of-sequence batch or while already
+        awaiting catch-up. Either way the standby is left in
+        ``catching_up`` and nothing was half-applied.
+        """
+        if self.state == "promoted":
+            raise ReplicationError(f"standby {self.name!r} already promoted")
+        if self.state == "catching_up":
+            raise BatchGapError(
+                f"standby {self.name!r} awaiting snapshot catch-up"
+            )
+        try:
+            batch = decode_batch(blob)
+        except BatchIntegrityError:
+            self.stats["integrity_failures"] += 1
+            self.state = "catching_up"
+            raise
+        if batch.seq != self.next_seq:
+            self.stats["gaps_detected"] += 1
+            self.state = "catching_up"
+            raise BatchGapError(
+                f"standby {self.name!r} expected batch {self.next_seq}, "
+                f"got {batch.seq}"
+            )
+        for record in batch.records:
+            apply_record(self.structures, record)
+            self.stats["records_applied"] += 1
+            self.stats["bits_applied"] += record.bits
+        self.stats["batches_applied"] += 1
+        self.next_seq = batch.seq + 1
+        self.applied_progress = batch.progress
+        return len(batch.records)
+
+    def catch_up(
+        self,
+        blob: bytes,
+        progress: Tuple[int, int],
+        next_seq: int,
+    ) -> None:
+        """Replace the mirror image from a checksummed snapshot.
+
+        *blob* is a :mod:`repro.state.snapshot` container cut from the
+        primary's live structures; a torn one raises
+        :class:`~repro.core.errors.SnapshotCorruptionError` and leaves
+        the standby in ``catching_up`` (retry with a fresh cut).
+        """
+        if self.state == "promoted":
+            raise ReplicationError(f"standby {self.name!r} already promoted")
+        _, sections = read_snapshot(blob)
+        for name, structure in self.structures.items():
+            if name not in sections:
+                raise ReplicationError(
+                    f"catch-up snapshot missing section {name!r}"
+                )
+            structure.restore_state(sections[name])
+        self.applied_progress = progress
+        self.next_seq = next_seq
+        self.state = "standby"
+        self.stats["catch_ups"] += 1
+
+    def promote(self) -> Dict[str, bytes]:
+        """Freeze the mirror and hand its image to the failover path.
+
+        Returns per-structure section images (``snapshot_state()``
+        bytes) ready to restore into the live structures. Terminal: a
+        promoted standby never consumes again — the old primary
+        rejoins as a *new* standby instead.
+        """
+        self.state = "promoted"
+        self.stats["promotions"] += 1
+        return {
+            name: structure.snapshot_state()
+            for name, structure in self.structures.items()
+        }
+
+    def image(self) -> Dict[str, bytes]:
+        """Current per-structure section images (divergence checks)."""
+        return {
+            name: structure.snapshot_state()
+            for name, structure in self.structures.items()
+        }
+
+    def describe(self) -> Optional[str]:
+        return (
+            f"standby {self.name!r} state={self.state} "
+            f"seq={self.next_seq} progress={self.applied_progress}"
+        )

@@ -63,6 +63,11 @@ class LoadgenReport:
     audit_ok: bool = True
     drained_clean: bool = True
     drain_report: Dict[str, int] = field(default_factory=dict)
+    #: One row per client: its share of the fault traffic (NACKs,
+    #: RETRY backpressure, CRC rejects) and its own latency tail —
+    #: aggregate percentiles hide a single client stuck behind a
+    #: degraded session.
+    per_client: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -160,7 +165,7 @@ async def run_loadgen(
 
     report = LoadgenReport(clients=clients, accesses=clients * accesses)
     latencies: List[float] = []
-    for client in done:
+    for i, client in enumerate(done):
         report.completed += client.stats["completed"]
         report.frames += client.stats["frames"]
         report.nacks += client.stats["nacks"]
@@ -168,6 +173,19 @@ async def run_loadgen(
         report.backpressure += client.stats["backpressure"]
         report.link_failures += client.stats["link_failures"]
         latencies.extend(client.latencies_ms)
+        report.per_client.append(
+            {
+                "client": i,
+                "tag": client_tag(seed, i),
+                "completed": client.stats["completed"],
+                "nacks": client.stats["nacks"],
+                "crc_errors": client.stats["crc_errors"],
+                "backpressure": client.stats["backpressure"],
+                "retries": client.stats["retries"],
+                "p50_ms": _percentile(client.latencies_ms, 0.50),
+                "p99_ms": _percentile(client.latencies_ms, 0.99),
+            }
+        )
     report.elapsed_s = elapsed
     report.lines_per_s = report.completed / elapsed if elapsed > 0 else 0.0
     report.p50_ms = _percentile(latencies, 0.50)
@@ -233,6 +251,20 @@ async def _loadgen_main(args: argparse.Namespace) -> int:
         if isinstance(value, float):
             value = f"{value:.3f}"
         print(f"{key}: {value}")
+    if args.per_client:
+        columns = (
+            "client", "completed", "nacks", "crc_errors",
+            "backpressure", "retries", "p50_ms", "p99_ms",
+        )
+        print(" ".join(f"{name:>12}" for name in columns))
+        for row in report.per_client:
+            cells = [
+                f"{row[name]:>12.3f}"
+                if isinstance(row[name], float)
+                else f"{row[name]:>12}"
+                for name in columns
+            ]
+            print(" ".join(cells))
     if args.obs_snapshot:
         from repro.obs.registry import METRICS
 
@@ -273,6 +305,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.0,
         help="self-hosted only: arm wire fault injection at this rate",
+    )
+    parser.add_argument(
+        "--per-client",
+        action="store_true",
+        help="print a per-client breakdown (NACKs, backpressure, tail)",
     )
     parser.add_argument(
         "--obs-snapshot",

@@ -1,11 +1,15 @@
 """Sessions: one verified CABLE link pair per connected client.
 
-A :class:`Session` owns the full home+remote endpoint state for one
-client — an :class:`~repro.core.encoder.CableLinkPair` with the
-byte-level checker armed (``verify=True``) and durable epoch state
+A :class:`Session` is the *transport* half of one client: the bounded
+queue, the worker, the retransmit window, and the frame shipping with
+its per-session fault injectors. The *state* half — the
+:class:`~repro.core.encoder.CableLinkPair` with the byte-level
+checker armed (``verify=True``), durable epoch state
 (:class:`~repro.state.manager.EndpointStateManager` via
-``config.durability``). The socket carries the *actual encoded
-frames*: every transfer the pair produces is re-encoded with
+``config.durability``), warm-standby replication and the failover
+path — lives in :class:`repro.serve.state.SessionState`, which each
+session composes. The socket carries the *actual encoded frames*:
+every transfer the pair produces is re-encoded with
 :func:`repro.link.wire.encode_frame` and shipped to the client, which
 performs the structural decode (CRC, bit-exact token parse, sequence
 cross-check) on its side of the wire.
@@ -28,27 +32,30 @@ durable state, audit every pair.
 from __future__ import annotations
 
 import asyncio
-import random
-import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.cache.hierarchy import InclusivePair
-from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
-from repro.core.config import CableConfig
-from repro.core.encoder import CableLinkPair
 from repro.core.errors import DecompressionError, LinkRecoveryError
 from repro.fault.injectors import ChannelFaultInjector, WireFaultInjector
 from repro.fault.plan import FaultPlan
-from repro.link.wire import encode_frame, wire_format_for
+from repro.link.wire import encode_frame
 from repro.obs.registry import METRICS
+from repro.replica.plan import FailoverPlan, ReplicationPolicy
 from repro.serve import protocol
+from repro.serve.state import SessionState, synthetic_line
 from repro.serve.transport import StreamSender
 from repro.state.plan import DurabilityPolicy
 
+__all__ = [
+    "ServeConfig",
+    "Session",
+    "SessionManager",
+    "SessionState",
+    "synthetic_line",
+]
+
 _CTR_OPENED = METRICS.counter("serve.sessions_opened")
 _CTR_RESUMED = METRICS.counter("serve.sessions_resumed")
-_CTR_RESYNCS = METRICS.counter("serve.session_resyncs")
 _CTR_ACCESSES = METRICS.counter("serve.accesses")
 _CTR_FRAMES = METRICS.counter("serve.frames_sent")
 _CTR_RETRANS = METRICS.counter("serve.retransmits")
@@ -96,20 +103,25 @@ class ServeConfig:
     crc_bits: int = 16
     #: Per-session durability (epoch/journal state for resume).
     durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
+    #: Warm-standby replication per session; None serves unreplicated.
+    replication: Optional[ReplicationPolicy] = None
+    #: Primary-kill schedule + replication-stream sabotage (reseeded
+    #: per session, like ``faults``). Requires ``replication``.
+    failover: Optional[FailoverPlan] = None
+    #: Replication shipper cadence: flush the journal backlog to the
+    #: standby every N completed accesses. Keyed to work (not wall
+    #: clock) so kill campaigns are exactly repeatable — a kill landing
+    #: on a flush point finds an empty backlog and promotes *hot*.
+    replica_flush_accesses: int = 4
 
-
-def synthetic_line(tag: int, addr: int, line_bytes: int = 64) -> bytes:
-    """Deterministic backing-store content for (session tag, addr).
-
-    Five archetype lines stamped with the address — the same shape the
-    fault campaigns use, so reference compression engages without the
-    server needing any knowledge of the client's workload model.
-    """
-    rng = random.Random((tag << 3) | (addr % 5))
-    words = [rng.getrandbits(32) | 0x01000000 for _ in range(line_bytes // 4)]
-    line = bytearray(struct.pack(f"<{len(words)}I", *words))
-    struct.pack_into("<I", line, line_bytes - 4, addr & 0xFFFFFFFF)
-    return bytes(line)
+    def __post_init__(self) -> None:
+        if self.failover is not None and self.replication is None:
+            raise ValueError(
+                "failover requires replication: a kill schedule without a "
+                "standby to promote would silently never fire"
+            )
+        if self.replica_flush_accesses < 1:
+            raise ValueError("replica_flush_accesses must be positive")
 
 
 #: Queue sentinel: the worker should flush and exit.
@@ -117,41 +129,13 @@ _SHUTDOWN = object()
 
 
 class Session:
-    """One client's endpoint pair plus its bounded service state."""
+    """One client's transport, composed over its endpoint state."""
 
     def __init__(self, session_id: int, client_tag: int, config: ServeConfig) -> None:
         self.session_id = session_id
         self.client_tag = client_tag
         self.config = config
-        cable = CableConfig().with_overrides(durability=config.durability)
-        home = SetAssociativeCache(CacheGeometry(config.home_kb * 1024, 8))
-        remote = SetAssociativeCache(CacheGeometry(config.remote_kb * 1024, 4))
-        store: Dict[int, bytes] = {}
-
-        def backing_read(addr: int) -> bytes:
-            data = store.get(addr)
-            if data is None:
-                data = synthetic_line(client_tag, addr, cable.line_bytes)
-                store[addr] = data
-            return data
-
-        self.pair = CableLinkPair(
-            cable,
-            InclusivePair(home, remote, backing_read, store.__setitem__),
-        )
-        # Bounded memory: capture each access's transfers via the
-        # accounting hook instead of the unbounded transfers list.
-        self.pair.keep_transfers = False
-        self._capture: List[Tuple[str, object]] = []
-        original_account = self.pair._account
-
-        def account_hook(direction, event, payload, search):
-            original_account(direction, event, payload, search)
-            self._capture.append((direction, payload))
-
-        self.pair._account = account_hook
-        self.fmt = wire_format_for(cable, self.pair.home_encoder.engine)
-        self.engine_name = cable.engine
+        self.state = SessionState(session_id, client_tag, config)
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=config.queue_depth)
         #: (access index, frame pos) → (direction, seq, bytes, bits).
         self.window: Dict[Tuple[int, int], Tuple[int, int, bytes, int]] = {}
@@ -176,6 +160,18 @@ class Session:
             "silent_corruptions": 0,
         }
 
+    @property
+    def pair(self):
+        return self.state.pair
+
+    @property
+    def fmt(self):
+        return self.state.fmt
+
+    @property
+    def engine_name(self) -> str:
+        return self.state.engine_name
+
     # ------------------------------------------------------------------
     # Attachment & epochs
     # ------------------------------------------------------------------
@@ -193,20 +189,10 @@ class Session:
         return self.sender is not None
 
     def progress(self) -> Tuple[int, int]:
-        """The durable (epoch, records) the home endpoint has reached —
-        what a well-behaved client should echo in its resume HELLO."""
-        return self.pair.home_state.expected_progress()
+        return self.state.progress()
 
     def resync_stale_resume(self) -> None:
-        """The client's epoch disagreed with durable state: audit and
-        repair both endpoints (§III-F), then re-baseline the managers
-        so the granted epoch is trustworthy."""
-        self.pair.resync()
-        for manager in (self.pair.home_state, self.pair.remote_state):
-            if manager is not None:
-                manager.checkpoint()
-        if METRICS.enabled:
-            _CTR_RESYNCS.inc()
+        self.state.resync_stale_resume()
 
     # ------------------------------------------------------------------
     # Admission
@@ -303,7 +289,8 @@ class Session:
     def _process(
         self, index: int, addr: int, is_write: bool, data: Optional[bytes]
     ) -> None:
-        self._capture.clear()
+        capture = self.state.capture
+        capture.clear()
         status = protocol.STATUS_OK
         try:
             self.pair.access(addr, is_write=is_write, write_data=data)
@@ -319,10 +306,20 @@ class Session:
         if METRICS.enabled:
             _CTR_ACCESSES.inc()
         sent = 0
-        for pos, (direction, payload) in enumerate(self._capture):
+        for pos, (direction, payload) in enumerate(capture):
             self._ship_frame(index, pos, direction, payload)
             sent += 1
-        self._capture.clear()
+        capture.clear()
+        if self.state.replicated:
+            # Shipper cadence + kill schedule, both keyed to the
+            # per-session access ordinal so campaigns are repeatable
+            # regardless of asyncio interleaving. The flush runs
+            # *before* the kill roll: a kill landing on a flush point
+            # finds an empty backlog and promotes hot.
+            ordinal = self.stats["accesses"]
+            if ordinal % max(1, self.config.replica_flush_accesses) == 0:
+                self.state.pump_replication()
+            self.state.maybe_kill_primary(ordinal)
         if self.sender is not None:
             epoch, records = self.progress()
             self.sender.send(
@@ -385,17 +382,12 @@ class Session:
             self.queue.put_nowait(_SHUTDOWN)
             await self.worker
         self.worker = None
-        self.pair.drain_resync()
-        for manager in (self.pair.home_state, self.pair.remote_state):
-            if manager is not None:
-                manager.checkpoint()
+        self.state.drain()
         if self.sender is not None:
             await self.sender.drain()
 
     def audit_ok(self) -> bool:
-        from repro.core.sync import audit
-
-        return audit(self.pair).ok
+        return self.state.audit_ok()
 
 
 class SessionManager:
@@ -480,6 +472,15 @@ class SessionManager:
             "link_failures": 0,
             "silent_corruptions": 0,
             "audit_failures": 0,
+            # -- replication / failover (repro.replica) ----------------
+            "kills": 0,
+            "hot_promotions": 0,
+            "warm_promotions": 0,
+            "lost_records": 0,
+            "catch_ups": 0,
+            "batches_shipped": 0,
+            "batches_lost": 0,
+            "replica_lag_peak": 0,
         }
         for session in list(self.sessions.values()):
             await session.drain()
@@ -491,6 +492,20 @@ class SessionManager:
                 "silent_corruptions",
             ):
                 report[key] += session.stats[key]
+            replica = session.state.replica_rollup()
+            for key in (
+                "kills",
+                "hot_promotions",
+                "warm_promotions",
+                "lost_records",
+                "catch_ups",
+                "batches_shipped",
+                "batches_lost",
+            ):
+                report[key] += replica[key]
+            report["replica_lag_peak"] = max(
+                report["replica_lag_peak"], replica["lag_peak"]
+            )
             if not session.audit_ok():
                 report["audit_failures"] += 1
         if METRICS.enabled:

@@ -1,0 +1,215 @@
+"""Per-session endpoint state, split from transport.
+
+A :class:`SessionState` owns everything about one client's *link
+state*: the verified :class:`~repro.core.encoder.CableLinkPair`, its
+backing store, the durable epoch managers, the transfer-capture hook,
+warm-standby replication and the failover path. It knows nothing
+about sockets, queues, senders or retransmit windows — those live in
+:class:`repro.serve.session.Session`, which composes one of these.
+
+The split is load-bearing twice over: failover promotes *state* while
+the transport keeps serving (the retransmit window answers NACKs for
+frames encoded before the promotion, and queued accesses continue
+against the promoted metadata), and a future sharded service can move
+a ``SessionState`` between worker processes without dragging a
+transport along.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.hierarchy import InclusivePair
+from repro.cache.setassoc import CacheGeometry, SetAssociativeCache
+from repro.core.config import CableConfig
+from repro.core.encoder import CableLinkPair
+from repro.fault.injectors import FailoverInjector
+from repro.fault.plan import RecoveryPolicy
+from repro.link.wire import wire_format_for
+from repro.obs.registry import METRICS
+
+_CTR_RESYNCS = METRICS.counter("serve.session_resyncs")
+_CTR_KILLS = METRICS.counter("replica.primary_kills")
+
+
+def synthetic_line(tag: int, addr: int, line_bytes: int = 64) -> bytes:
+    """Deterministic backing-store content for (session tag, addr).
+
+    Five archetype lines stamped with the address — the same shape the
+    fault campaigns use, so reference compression engages without the
+    server needing any knowledge of the client's workload model.
+    """
+    rng = random.Random((tag << 3) | (addr % 5))
+    words = [rng.getrandbits(32) | 0x01000000 for _ in range(line_bytes // 4)]
+    line = bytearray(struct.pack(f"<{len(words)}I", *words))
+    struct.pack_into("<I", line, line_bytes - 4, addr & 0xFFFFFFFF)
+    return bytes(line)
+
+
+class SessionState:
+    """One client's endpoint pair, durable epochs, and standby."""
+
+    def __init__(self, session_id: int, client_tag: int, config) -> None:
+        self.session_id = session_id
+        self.client_tag = client_tag
+        self.config = config
+        overrides = {"durability": config.durability}
+        replication = getattr(config, "replication", None)
+        if replication is not None:
+            # Replicated sessions run the framed link: failover needs
+            # the recovery layer's health counters and HELLO/EPOCH
+            # handshake, and a tripped breaker becomes the failover
+            # trigger instead of an in-place resync.
+            overrides["recovery"] = RecoveryPolicy(failover_on_trip=True)
+        cable = CableConfig().with_overrides(**overrides)
+        home = SetAssociativeCache(CacheGeometry(config.home_kb * 1024, 8))
+        remote = SetAssociativeCache(CacheGeometry(config.remote_kb * 1024, 4))
+        store: Dict[int, bytes] = {}
+
+        def backing_read(addr: int) -> bytes:
+            data = store.get(addr)
+            if data is None:
+                data = synthetic_line(client_tag, addr, cable.line_bytes)
+                store[addr] = data
+            return data
+
+        self.pair = CableLinkPair(
+            cable,
+            InclusivePair(home, remote, backing_read, store.__setitem__),
+        )
+        # Bounded memory: capture each access's transfers via the
+        # accounting hook instead of the unbounded transfers list.
+        self.pair.keep_transfers = False
+        self.capture: List[Tuple[str, object]] = []
+        original_account = self.pair._account
+
+        def account_hook(direction, event, payload, search):
+            original_account(direction, event, payload, search)
+            self.capture.append((direction, payload))
+
+        self.pair._account = account_hook
+        self.fmt = wire_format_for(cable, self.pair.home_encoder.engine)
+        self.engine_name = cable.engine
+        # Warm-standby replication + deterministic kill schedule.
+        self.failover_faults: Optional[FailoverInjector] = None
+        failover_plan = getattr(config, "failover", None)
+        if failover_plan is not None:
+            plan = failover_plan.scaled(seed=failover_plan.seed ^ client_tag)
+            self.failover_faults = FailoverInjector(plan)
+        if replication is not None:
+            hooks = {}
+            if self.failover_faults is not None:
+                hooks = {
+                    "home": self.failover_faults.ship,
+                    "remote": self.failover_faults.ship,
+                }
+            self.pair.arm_replication(replication, hooks)
+        self.stats = {
+            "kills": 0,
+            "hot_promotions": 0,
+            "warm_promotions": 0,
+            "lost_records": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Epochs & resync
+    # ------------------------------------------------------------------
+
+    def progress(self) -> Tuple[int, int]:
+        """The durable (epoch, records) the home endpoint has reached —
+        what a well-behaved client should echo in its resume HELLO."""
+        return self.pair.home_state.expected_progress()
+
+    def resync_stale_resume(self) -> None:
+        """The client's epoch disagreed with durable state: audit and
+        repair both endpoints (§III-F), then re-baseline the managers
+        so the granted epoch is trustworthy."""
+        self.pair.resync()
+        self.checkpoint()
+        if METRICS.enabled:
+            _CTR_RESYNCS.inc()
+
+    def checkpoint(self) -> None:
+        for manager in (self.pair.home_state, self.pair.remote_state):
+            if manager is not None:
+                manager.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Replication / failover
+    # ------------------------------------------------------------------
+
+    @property
+    def replicated(self) -> bool:
+        return bool(self.pair.replicators)
+
+    def pump_replication(self) -> None:
+        """Flush the replication backlog to the standby (the serve
+        worker calls this every ``replica_flush_accesses`` accesses, so
+        standby lag is bounded by one flush window on top of the
+        policy's structural bound)."""
+        if self.pair.replicators:
+            for replicator in self.pair.replicators.values():
+                replicator.pump(force=True)
+
+    def maybe_kill_primary(self, access_index: int) -> bool:
+        """Roll the deterministic kill schedule for one completed
+        access; on a kill, fail over to the warm standby mid-traffic."""
+        faults = self.failover_faults
+        if faults is None or not self.replicated:
+            return False
+        if not faults.decide_kill(access_index):
+            return False
+        self.kill_primary()
+        return True
+
+    def kill_primary(self) -> bool:
+        """Kill the primary and promote the standby; returns hot."""
+        outcome = self.pair.failover()
+        self.stats["kills"] += 1
+        self.stats["lost_records"] += outcome.lost_records
+        if outcome.hot:
+            self.stats["hot_promotions"] += 1
+        else:
+            self.stats["warm_promotions"] += 1
+        if METRICS.enabled:
+            _CTR_KILLS.inc()
+        return outcome.hot
+
+    def replica_rollup(self) -> Dict[str, int]:
+        """Replication counters summed across both sides' channels."""
+        rollup = dict(self.stats)
+        rollup.update(
+            {
+                "batches_shipped": 0,
+                "batches_lost": 0,
+                "records_shipped": 0,
+                "catch_ups": 0,
+                "lag_peak": 0,
+            }
+        )
+        if self.pair.replicators:
+            for replicator in self.pair.replicators.values():
+                stats = replicator.stats
+                rollup["batches_shipped"] += stats["batches_shipped"]
+                rollup["batches_lost"] += stats["batches_lost"]
+                rollup["records_shipped"] += stats["records_shipped"]
+                rollup["catch_ups"] += stats["catch_ups"]
+                rollup["lag_peak"] = max(rollup["lag_peak"], stats["lag_peak"])
+        return rollup
+
+    # ------------------------------------------------------------------
+    # Drain / audit
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Settle link state for a checkpointed, auditable quiescence."""
+        self.pair.drain_resync()
+        self.pump_replication()
+        self.checkpoint()
+
+    def audit_ok(self) -> bool:
+        from repro.core.sync import audit
+
+        return audit(self.pair).ok

@@ -27,7 +27,7 @@ count and repairs incrementally.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import JournalReplayError
 
@@ -53,10 +53,18 @@ class MetadataJournal:
         self.floor_epoch = 0
         self._intact = True
         self.stats = {"appends": 0, "truncated": 0, "dropped": 0}
+        #: Optional tee: called with each appended record *after* it is
+        #: retained. The replication shipper subscribes here so standby
+        #: consumption never depends on the retention window (a record
+        #: truncated by a checkpoint was already offered for shipping).
+        self.on_append: Optional[Callable[[JournalRecord], None]] = None
 
     def append(self, epoch: int, op: str, args: Tuple, bits: int) -> None:
-        self._records.append(JournalRecord(epoch, op, tuple(args), bits))
+        record = JournalRecord(epoch, op, tuple(args), bits)
+        self._records.append(record)
         self.stats["appends"] += 1
+        if self.on_append is not None:
+            self.on_append(record)
 
     def truncate_before(self, epoch: int) -> None:
         """Drop records older than *epoch* (checkpoint housekeeping)."""

@@ -40,6 +40,35 @@ from repro.state.snapshot import read_snapshot, write_snapshot
 OP_TAG_BITS = 3
 
 
+def apply_record(structures: Dict[str, object], record: JournalRecord) -> None:
+    """Apply one journaled metadata op to a structure set.
+
+    Shared by the restore path (replay onto the crashed endpoint's own
+    structures) and the replication standby (replay onto a warm
+    mirror) — both must interpret the journal identically or a
+    promoted standby would diverge from a replayed restore.
+    """
+    op, args = record.op, record.args
+    if op == "wmt_install":
+        structures["wmt"].install(LineId(args[0]), LineId(args[1]))
+    elif op == "wmt_inval_remote":
+        structures["wmt"].invalidate_remote(LineId(args[0]))
+    elif op == "wmt_inval_home":
+        structures["wmt"].invalidate_home(LineId(args[0]))
+    elif op == "hash_insert":
+        structures["hash"].insert(args[0], LineId(args[1]))
+    elif op == "hash_remove":
+        structures["hash"].remove(args[0], LineId(args[1]))
+    elif op == "evict_record":
+        structures["evictbuf"].apply_record(
+            args[0], LineId(args[1]), args[2], args[3]
+        )
+    elif op == "evict_ack":
+        structures["evictbuf"].acknowledge(args[0])
+    else:
+        raise JournalReplayError(f"unknown journal op {op!r}")
+
+
 @dataclass
 class RestoreResult:
     """What one :meth:`EndpointStateManager.restore` achieved."""
@@ -220,24 +249,7 @@ class EndpointStateManager:
         return result
 
     def _apply(self, record: JournalRecord) -> None:
-        op, args = record.op, record.args
-        s = self.structures
-        if op == "wmt_install":
-            s["wmt"].install(LineId(args[0]), LineId(args[1]))
-        elif op == "wmt_inval_remote":
-            s["wmt"].invalidate_remote(LineId(args[0]))
-        elif op == "wmt_inval_home":
-            s["wmt"].invalidate_home(LineId(args[0]))
-        elif op == "hash_insert":
-            s["hash"].insert(args[0], LineId(args[1]))
-        elif op == "hash_remove":
-            s["hash"].remove(args[0], LineId(args[1]))
-        elif op == "evict_record":
-            s["evictbuf"].apply_record(args[0], LineId(args[1]), args[2], args[3])
-        elif op == "evict_ack":
-            s["evictbuf"].acknowledge(args[0])
-        else:
-            raise JournalReplayError(f"unknown journal op {op!r}")
+        apply_record(self.structures, record)
 
     # ------------------------------------------------------------------
     # Fault-injection surface (persistent-store sabotage)

@@ -218,3 +218,78 @@ def test_memlink_batch_warm_is_byte_identical():
     baseline = run(0)
     assert run(64) == baseline
     assert run(5) == baseline
+
+
+# ---------------------------------------------------------------------------
+# Generation-bump regressions: sabotage/repair paths that mutate the
+# structures behind install()/insert() must still invalidate the
+# batched pipeline's cross-block result cache.
+# ---------------------------------------------------------------------------
+
+
+def _twist_wmt(encoder, seed: int):
+    """Production WMT sabotage bound to a bare encoder (the injector
+    only needs ``link.home_encoder.wmt``)."""
+    from types import SimpleNamespace
+
+    from repro.fault.injectors import StateFaultInjector
+    from repro.fault.plan import FaultPlan
+
+    injector = StateFaultInjector(FaultPlan(seed=seed))
+    injector.bind(SimpleNamespace(home_encoder=encoder))
+    return injector._corrupt_wmt_entry()
+
+
+def test_production_wmt_sabotage_bumps_generation():
+    encoder = build_encoder(3)
+    before = encoder.wmt.generation
+    assert _twist_wmt(encoder, seed=3) == 1
+    assert encoder.wmt.generation == before + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    leg=st.sampled_from(LEGS),
+)
+def test_wmt_twist_between_batches_cannot_replay_stale(seed, leg):
+    """Regression: a twisted WMT entry (direct-array sabotage, not an
+    install()) used to leave the cross-block cache's generation key
+    unchanged, so a warmed batched encoder could replay pre-twist
+    referencability the scalar path no longer computes."""
+    scalar = build_encoder(seed)
+    batched = build_encoder(seed)
+    stream = make_stream(seed + 1, 24)
+    items = [(i * _LINE_BYTES, data, None) for i, data in enumerate(stream)]
+    # Warm pass populates the batched twin's cross-block result cache.
+    for item in items:
+        scalar.encode(*item)
+    batched.encode_batch(items, block_size=7, backend=leg)
+    # Identical production sabotage on both twins (same seeded rng on
+    # identical occupancy picks the same entry).
+    assert _twist_wmt(scalar, seed=seed) == _twist_wmt(batched, seed=seed)
+    scalar_out = [scalar.encode(*item) for item in items]
+    batch_out = batched.encode_batch(items, block_size=7, backend=leg)
+    for i, (a, b) in enumerate(zip(scalar_out, batch_out)):
+        assert payload_key(a.payload) == payload_key(b.payload), (leg, i)
+        assert search_key(a.search) == search_key(b.search), (leg, i)
+    assert_twins_agree(scalar, batched, leg)
+
+
+def test_audit_repair_bumps_generations():
+    """Regression: the §III-F auditor's bulk repair writes the arrays
+    directly; without a generation bump a batched encoder would keep
+    serving results derived from the pre-repair (corrupted) image."""
+    from repro.core.sync import audit
+    from repro.fault.campaign import build_campaign_link
+    from repro.fault.plan import FaultPlan, RecoveryPolicy
+
+    link = build_campaign_link(FaultPlan(), RecoveryPolicy(), seed=7)
+    rng = random.Random(7)
+    for i in range(200):
+        link.access(rng.randrange(100), is_write=False)
+    assert _twist_wmt(link.home_encoder, seed=7) == 1
+    after_twist = link.home_encoder.wmt.generation
+    report = audit(link, repair=True)
+    assert report.repairs > 0
+    assert link.home_encoder.wmt.generation > after_twist

@@ -88,6 +88,29 @@ def check_serving(summary):
         yield "graceful drain did not end with every audit clean"
 
 
+def check_failover(summary):
+    if summary.get("kills", 0) < 500:
+        yield "needs at least 500 primary kills across the sweep"
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if not summary.get("hot_promotions"):
+        yield "no kill ever landed on a caught-up standby (hot promotion)"
+    if not summary.get("warm_promotions"):
+        yield "no kill ever exercised the warm (resync) promotion path"
+    hot = summary.get("hot_promotions", 0)
+    warm = summary.get("warm_promotions", 0)
+    if hot + warm != summary.get("kills", -1):
+        yield "every kill must resolve to exactly one promotion"
+    if not summary.get("catch_ups"):
+        yield "the sabotaged stream never forced a snapshot catch-up"
+    if summary.get("lag_bounded") != 1:
+        yield "replication lag exceeded the policy bound"
+    if summary.get("p99_blip_bounded") != 1:
+        yield "p99 latency blip exceeded the bound vs the no-kill baseline"
+    if summary.get("drained_clean") != 1:
+        yield "a post-failover drain audit failed"
+
+
 def check_hotpath_batch(summary):
     if summary.get("scalar_identical") != 1:
         yield "batched encode payloads diverged from the scalar path"
@@ -103,6 +126,7 @@ CHECKS = {
     "resilience": check_resilience,
     "crash_recovery": check_crash_recovery,
     "serving": check_serving,
+    "failover": check_failover,
     "hotpath_batch": check_hotpath_batch,
 }
 
@@ -217,6 +241,22 @@ SERVING_COLUMNS = {
     "accesses": "accesses",
     "frames": "frames",
     "nacks": "nacks",
+    "retransmits": "retransmits",
+    "silent": "silent",
+}
+
+#: Failover columns deterministic for fixed arguments (per-session
+#: ordinal kill schedules, work-keyed shipper cadence). Latency and
+#: blip columns are wall-clock and not checked.
+FAILOVER_COLUMNS = {
+    "clients": "clients",
+    "accesses": "accesses",
+    "kills": "kills",
+    "hot": "hot",
+    "warm": "warm",
+    "lost": "lost",
+    "catch_ups": "catch_ups",
+    "lag_peak": "lag_peak",
     "silent": "silent",
 }
 
@@ -283,8 +323,22 @@ def drift_failures():
     resilience = OUTPUT_DIR / "resilience.txt"
     crash = OUTPUT_DIR / "crash_recovery.txt"
     serving = OUTPUT_DIR / "serving.txt"
+    failover = OUTPUT_DIR / "failover.txt"
     for headers, rows in tables:
-        if "fault rate" in headers and "trips / re-arms" in headers:
+        if "clients" in headers and "kills" in headers:
+            if not failover.exists():
+                yield "failover table quoted but failover.txt not archived"
+                continue
+            yield from check_table_drift(
+                "failover",
+                headers,
+                rows,
+                parse_archived_table(failover),
+                "clients",
+                "clients",
+                FAILOVER_COLUMNS,
+            )
+        elif "fault rate" in headers and "trips / re-arms" in headers:
             if not resilience.exists():
                 yield "resilience table quoted but resilience.txt not archived"
                 continue
