@@ -84,6 +84,10 @@ def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
     text = result.render()
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{output_name}.txt").write_text(text + "\n")
+    if hasattr(result, "as_json"):
+        (OUTPUT_DIR / f"{output_name}.json").write_text(
+            json.dumps(result.as_json(), indent=2, sort_keys=True) + "\n"
+        )
     archive_benchmark_stats(benchmark, output_name)
     archive_obs_snapshot(output_name)
     print()

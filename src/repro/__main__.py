@@ -42,6 +42,8 @@ EXPERIMENTS = {
     "resilience": ("repro.experiments.resilience", True),
     "serving": ("repro.experiments.serving", False),
     "failover": ("repro.experiments.failover", False),
+    "cluster": ("repro.experiments.cluster", False),
+    "cluster_scaling": ("repro.experiments.cluster_scaling", False),
 }
 
 

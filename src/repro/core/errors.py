@@ -84,6 +84,27 @@ class EvictionBufferOverflowError(RuntimeError):
     under the ``"strict"`` overflow policy."""
 
 
+class SessionAdmissionError(RuntimeError):
+    """Base class for link-service session admission refusals
+    (:mod:`repro.serve`). Deliberately *not* a
+    :class:`DecompressionError`: these surface at the OPEN handshake,
+    before any payload exists. The service answers the client with a
+    REJECTED flag on the wire; the typed hierarchy exists so in-process
+    callers (router, supervisor, tests) can tell the refusals apart."""
+
+
+class DuplicateSessionTagError(SessionAdmissionError):
+    """A new OPEN carried a client tag that is already attached to a
+    live session. Tags are the sharding identity — two concurrent
+    sessions with one tag would split a client's access stream across
+    divergent endpoint states."""
+
+
+class SessionLimitError(SessionAdmissionError):
+    """The service is at its ``max_sessions`` cap; the open is refused
+    rather than admitting unbounded state."""
+
+
 class StateRecoveryError(RuntimeError):
     """Base class for endpoint-state persistence failures
     (:mod:`repro.state`). Deliberately *not* a

@@ -88,6 +88,19 @@ class ExperimentResult:
     summary: Dict[str, float] = field(default_factory=dict)
     paper_claim: str = ""
 
+    def as_json(self) -> Dict:
+        """Machine-readable image of the result: what ``render`` prints
+        as a text table, as structured data. Archived alongside the
+        ``.txt`` so downstream checks stop re-parsing human tables."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "summary": dict(self.summary),
+            "paper_claim": self.paper_claim,
+        }
+
     def render(self) -> str:
         from repro.analysis.report import format_table
 

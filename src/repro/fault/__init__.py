@@ -20,6 +20,7 @@ __all__ = [
     "RecoveryPolicy",
     "StateFaultInjector",
     "WireFaultInjector",
+    "WorkerFaultInjector",
     "run_campaign",
     "run_crash_campaign",
     "run_failover_campaign",
@@ -31,6 +32,7 @@ _LAZY = {
     "StateFaultInjector": "repro.fault.injectors",
     "CrashFaultInjector": "repro.fault.injectors",
     "FailoverInjector": "repro.fault.injectors",
+    "WorkerFaultInjector": "repro.fault.injectors",
     "CampaignReport": "repro.fault.campaign",
     "run_campaign": "repro.fault.campaign",
     "CrashCampaignReport": "repro.fault.campaign",

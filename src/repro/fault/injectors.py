@@ -368,3 +368,70 @@ class FailoverInjector:
     @property
     def faults_injected(self) -> int:
         return sum(self.stats.values())
+
+
+class WorkerFaultInjector:
+    """Picks cluster-worker victims and failure modes (repro.serve.cluster).
+
+    The kill campaign rolls :meth:`next_fault` once per scheduled kill;
+    the injector picks a victim uniformly among the currently alive
+    workers and a failure mode by weight. Three modes cover the
+    supervisor's whole detection surface:
+
+    - ``sigkill`` — the process dies outright (``poll()`` / control
+      EOF detection);
+    - ``hang`` — the worker stops reading its control pipe and stops
+      heartbeating but the process stays alive (missed-heartbeat
+      detection);
+    - ``slow`` — the worker stalls its event loop every beat, so it
+      still answers — late (EWMA gap detection). ``slow_stall_ms``
+      scales the stall; campaigns set it well past the detector's
+      threshold so detection is not left to scheduling luck.
+    """
+
+    #: Default mode mix: mostly hard kills, with enough hangs and
+    #: slow-degradations to keep all three detectors honest.
+    MODE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+        ("sigkill", 0.70),
+        ("hang", 0.15),
+        ("slow", 0.15),
+    )
+
+    def __init__(
+        self,
+        seed: int,
+        mode_weights: Optional[Tuple[Tuple[str, float], ...]] = None,
+        slow_stall_ms: float = 2000.0,
+    ) -> None:
+        self.seed = seed
+        self._rng = make_rng(seed, "worker-kills")
+        self.mode_weights = tuple(mode_weights or self.MODE_WEIGHTS)
+        total = sum(weight for _, weight in self.mode_weights)
+        if total <= 0:
+            raise ValueError("mode weights must sum to a positive value")
+        self._cumulative = []
+        running = 0.0
+        for mode, weight in self.mode_weights:
+            running += weight / total
+            self._cumulative.append((running, mode))
+        self.slow_stall_ms = slow_stall_ms
+        self.stats = {"sigkill": 0, "hang": 0, "slow": 0}
+
+    def next_fault(self, alive_ids) -> Tuple[int, str]:
+        """(victim worker id, mode) for the next scheduled kill."""
+        alive = sorted(alive_ids)
+        if not alive:
+            raise ValueError("no alive workers to pick a victim from")
+        victim = alive[self._rng.randrange(len(alive))]
+        roll = self._rng.random()
+        mode = self._cumulative[-1][1]
+        for threshold, candidate in self._cumulative:
+            if roll < threshold:
+                mode = candidate
+                break
+        self.stats[mode] += 1
+        return victim, mode
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.stats.values())

@@ -247,6 +247,57 @@ class MetricsRegistry:
             histogram.max = data["max"]
 
 
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-process :meth:`MetricsRegistry.snapshot` images.
+
+    The cluster supervisor rolls every worker's drain-time snapshot
+    into one cluster-wide view: counters and histogram buckets sum
+    (fixed boundaries make buckets addable — that is why
+    :data:`STAGE_BUCKETS_NS` is fixed), gauges keep the max (gauges
+    here are peaks/outcomes, where max is the honest aggregate), and
+    histograms whose boundaries disagree keep the first image seen
+    rather than inventing a resampling.
+    """
+    counters: Dict[str, Number] = {}
+    gauges: Dict[str, Number] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in dict(snapshot.get("counters", {})).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in dict(snapshot.get("gauges", {})).items():
+            gauges[name] = max(gauges.get(name, value), value)
+        for name, data in dict(snapshot.get("histograms", {})).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(data["bounds"]),
+                    "counts": list(data["counts"]),
+                    "total": data["total"],
+                    "count": data["count"],
+                    "min": data["min"],
+                    "max": data["max"],
+                }
+                continue
+            if merged["bounds"] != list(data["bounds"]):
+                continue  # incompatible boundaries; keep the first image
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], data["counts"])
+            ]
+            merged["total"] += data["total"]
+            merged["count"] += data["count"]
+            for key, pick in (("min", min), ("max", max)):
+                ours, theirs = merged[key], data[key]
+                if theirs is not None:
+                    merged[key] = pick(ours, theirs) if ours is not None else theirs
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
 #: The process-wide registry every subsystem records into.
 METRICS = MetricsRegistry()
 

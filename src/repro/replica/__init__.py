@@ -18,6 +18,7 @@ failover; the serve layer threads promotion through live sessions.
 
 from repro.replica.batch import JournalBatch, decode_batch, encode_batch
 from repro.replica.plan import FailoverPlan, ReplicationPolicy
+from repro.replica.remote import SessionShipper, StandbySessionHost
 from repro.replica.replicator import Replicator
 from repro.replica.standby import StandbyReplica
 
@@ -26,6 +27,8 @@ __all__ = [
     "JournalBatch",
     "ReplicationPolicy",
     "Replicator",
+    "SessionShipper",
+    "StandbySessionHost",
     "StandbyReplica",
     "decode_batch",
     "encode_batch",

@@ -87,6 +87,10 @@ class RemoteClient:
         self.draining = False  # server announced DRAIN: no new accesses
         self.progress: Tuple[int, int] = (0, 0)
         self.latencies_ms: List[float] = []
+        #: Indices completed by :meth:`run` — a reconnecting driver
+        #: (cluster campaign) resumes from the holes instead of
+        #: replaying the whole sequence.
+        self.completed_indices: Set[int] = set()
         self.stats = {
             "completed": 0,
             "frames": 0,
@@ -170,6 +174,7 @@ class RemoteClient:
         server drained mid-run or the connection dropped.
         """
         pending: Dict[int, _Pending] = {}
+        self.completed_indices = set()  # indices are per-run positions
         next_index = 0
         while next_index < len(accesses) or pending:
             while (
@@ -276,6 +281,7 @@ class RemoteClient:
             return
         del pending[index]
         self.stats["completed"] += 1
+        self.completed_indices.add(index)
         elapsed_ms = (time.perf_counter_ns() - entry.sent_ns) / 1e6
         self.latencies_ms.append(elapsed_ms)
         if METRICS.enabled:

@@ -271,6 +271,18 @@ async def _loadgen_main(args: argparse.Namespace) -> int:
         with open(args.obs_snapshot, "w", encoding="utf-8") as handle:
             json.dump(METRICS.snapshot(), handle, indent=2, sort_keys=True)
         print(f"observability snapshot written to {args.obs_snapshot}")
+    if args.json:
+        payload = dict(report.as_dict())
+        payload["ok"] = report.ok
+        target = sys.stdout if args.json == "-" else open(
+            args.json, "w", encoding="utf-8"
+        )
+        try:
+            json.dump(payload, target, indent=2, sort_keys=True)
+            target.write("\n")
+        finally:
+            if target is not sys.stdout:
+                target.close()
     return 0 if report.ok else 1
 
 
@@ -292,7 +304,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="self-host over in-process memory pipes (no sockets)",
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="server TCP port; required unless self-hosting "
+        "(--serve/--memory bind ephemerally)",
+    )
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--accesses", type=int, default=64)
     parser.add_argument("--benchmark", default="gcc")
@@ -316,7 +334,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="",
         help="write a METRICS.snapshot() JSON dump to this path",
     )
+    parser.add_argument(
+        "--json",
+        default="",
+        help="write the loadgen report as JSON to this path ('-' = stdout)",
+    )
     args = parser.parse_args(argv)
+    if not (args.serve or args.memory) and args.port == 0:
+        parser.error(
+            "connecting to an external server requires --port "
+            "(or self-host with --serve/--memory)"
+        )
     return asyncio.run(_loadgen_main(args))
 
 

@@ -23,7 +23,7 @@ import contextlib
 import sys
 from typing import List, Optional, Set, Tuple
 
-from repro.core.errors import WireDecodeError
+from repro.core.errors import SessionAdmissionError, WireDecodeError
 from repro.link.wire import FrameDecoder
 from repro.serve import protocol
 from repro.serve.session import ServeConfig, Session, SessionManager
@@ -117,7 +117,12 @@ class LinkService:
             resume_id, tag, epoch, records = protocol.decode_open(
                 payload, bits, cfg.crc_bits
             )
-            granted, flags = self.manager.open(resume_id, tag, epoch, records)
+            try:
+                granted, flags = self.manager.open(resume_id, tag, epoch, records)
+            except SessionAdmissionError:
+                # Duplicate tag / session cap: a typed refusal in
+                # process, a REJECTED flag on the wire.
+                granted, flags = None, protocol.FLAG_REJECTED
             if granted is None:
                 sender.send(
                     protocol.encode_open_ok(0, flags, 0, 0, cfg.crc_bits)
@@ -225,7 +230,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Host a CABLE home endpoint as an asyncio link service.",
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=7433)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is printed at startup)",
+    )
     parser.add_argument("--queue-depth", type=int, default=32)
     parser.add_argument("--flush-interval", type=float, default=0.002)
     parser.add_argument("--max-sessions", type=int, default=64)

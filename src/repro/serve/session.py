@@ -35,7 +35,12 @@ import asyncio
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.errors import DecompressionError, LinkRecoveryError
+from repro.core.errors import (
+    DecompressionError,
+    DuplicateSessionTagError,
+    LinkRecoveryError,
+    SessionLimitError,
+)
 from repro.fault.injectors import ChannelFaultInjector, WireFaultInjector
 from repro.fault.plan import FaultPlan
 from repro.link.wire import encode_frame
@@ -320,6 +325,14 @@ class Session:
             if ordinal % max(1, self.config.replica_flush_accesses) == 0:
                 self.state.pump_replication()
             self.state.maybe_kill_primary(ordinal)
+        if self.state.shipper is not None:
+            # Cross-process shipping rides the same work-keyed cadence
+            # as the in-process replicators, for the same reason: the
+            # standby's lag is bounded by work done, not wall clock.
+            if self.stats["accesses"] % max(
+                1, self.config.replica_flush_accesses
+            ) == 0:
+                self.state.pump_shipping()
         if self.sender is not None:
             epoch, records = self.progress()
             self.sender.send(
@@ -398,18 +411,56 @@ class SessionManager:
         self.sessions: Dict[int, Session] = {}
         self.next_id = 1
         self.draining = False
+        #: Called with every newly created or adopted session — the
+        #: cluster worker hooks this to arm cross-process journal
+        #: shipping the moment a session exists.
+        self.on_open: Optional[object] = None
         self.stats = {
             "opened": 0,
             "resumed": 0,
             "resyncs": 0,
             "rejected_opens": 0,
+            "adopted": 0,
             "peak_sessions": 0,
         }
+
+    def find_by_tag(self, client_tag: int) -> Optional[Session]:
+        """The session owning *client_tag*, attached or not."""
+        for session in self.sessions.values():
+            if session.client_tag == client_tag:
+                return session
+        return None
+
+    def _grant_resume(
+        self, session: Session, epoch: int, records: int
+    ) -> Tuple[Session, int]:
+        flags = protocol.FLAG_RESUMED
+        if (epoch, records) != session.progress():
+            # Stale epoch: never resume onto divergent metadata —
+            # repair first, then grant the fresh epoch.
+            session.resync_stale_resume()
+            self.stats["resyncs"] += 1
+            flags |= protocol.FLAG_REBUILT
+        self.stats["resumed"] += 1
+        if METRICS.enabled:
+            _CTR_RESUMED.inc()
+        return session, flags
 
     def open(
         self, resume_id: int, client_tag: int, epoch: int, records: int
     ) -> Tuple[Optional[Session], int]:
-        """Grant (session, OPEN_OK flags); session None when rejected."""
+        """Grant (session, OPEN_OK flags); session None when rejected.
+
+        Raises :class:`~repro.core.errors.DuplicateSessionTagError`
+        when a fresh OPEN's tag is already attached, and
+        :class:`~repro.core.errors.SessionLimitError` at the
+        ``max_sessions`` cap — the service maps both onto a REJECTED
+        reply on the wire. A fresh OPEN whose tag matches a *detached*
+        session adopts it instead (the cross-worker failover reconnect
+        path: session ids are worker-local, tags are the durable
+        identity, and a stale epoch goes through the same
+        resync-before-grant as an id-based resume).
+        """
         if self.draining:
             self.stats["rejected_opens"] += 1
             return None, protocol.FLAG_REJECTED
@@ -418,27 +469,51 @@ class SessionManager:
             if session is None or session.attached:
                 self.stats["rejected_opens"] += 1
                 return None, protocol.FLAG_REJECTED
-            flags = protocol.FLAG_RESUMED
-            if (epoch, records) != session.progress():
-                # Stale epoch: never resume onto divergent metadata —
-                # repair first, then grant the fresh epoch.
-                session.resync_stale_resume()
-                self.stats["resyncs"] += 1
-                flags |= protocol.FLAG_REBUILT
-            self.stats["resumed"] += 1
-            if METRICS.enabled:
-                _CTR_RESUMED.inc()
-            return session, flags
+            return self._grant_resume(session, epoch, records)
+        existing = self.find_by_tag(client_tag)
+        if existing is not None:
+            if existing.attached:
+                self.stats["rejected_opens"] += 1
+                raise DuplicateSessionTagError(
+                    f"client tag {client_tag:#x} is already attached as "
+                    f"session {existing.session_id}"
+                )
+            return self._grant_resume(existing, epoch, records)
         if len(self.sessions) >= self.config.max_sessions:
             self.stats["rejected_opens"] += 1
-            return None, protocol.FLAG_REJECTED
+            raise SessionLimitError(
+                f"session cap {self.config.max_sessions} reached"
+            )
         session = Session(self.next_id, client_tag, self.config)
         self.sessions[session.session_id] = session
         self.next_id += 1
         self.stats["opened"] += 1
         if METRICS.enabled:
             _CTR_OPENED.inc()
+        if self.on_open is not None:
+            self.on_open(session)
         return session, 0
+
+    def adopt(self, session: Session) -> Session:
+        """Register a session promoted from another worker's standby.
+
+        The session arrives detached with a foreign session id; it gets
+        a local id and joins the table so the owning client can resume
+        by tag through :meth:`open` (its stale epoch then rides the
+        normal resync-before-grant path).
+        """
+        if self.find_by_tag(session.client_tag) is not None:
+            raise DuplicateSessionTagError(
+                f"cannot adopt tag {session.client_tag:#x}: already hosted"
+            )
+        session.session_id = self.next_id
+        session.state.session_id = session.session_id
+        self.sessions[session.session_id] = session
+        self.next_id += 1
+        self.stats["adopted"] += 1
+        if self.on_open is not None:
+            self.on_open(session)
+        return session
 
     def attached_count(self) -> int:
         return sum(1 for s in self.sessions.values() if s.attached)

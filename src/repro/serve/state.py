@@ -75,9 +75,23 @@ class SessionState:
                 store[addr] = data
             return data
 
+        def backing_write(addr: int, data: bytes) -> None:
+            store[addr] = data
+            hook = self.on_store_write
+            if hook is not None:
+                hook(addr, data)
+
+        #: Written-back line content; unwritten addresses fall back to
+        #: the deterministic synthetic lines, so only this dict needs
+        #: shipping to reproduce the backing store on another worker.
+        self.store = store
+        #: Tee for backing-store writes (cross-process replication
+        #: ships them so a promoted buddy serves the written data, not
+        #: the synthetic original).
+        self.on_store_write = None
         self.pair = CableLinkPair(
             cable,
-            InclusivePair(home, remote, backing_read, store.__setitem__),
+            InclusivePair(home, remote, backing_read, backing_write),
         )
         # Bounded memory: capture each access's transfers via the
         # accounting hook instead of the unbounded transfers list.
@@ -106,6 +120,9 @@ class SessionState:
                     "remote": self.failover_faults.ship,
                 }
             self.pair.arm_replication(replication, hooks)
+        #: Cross-process journal shipper (repro.replica.remote); the
+        #: cluster worker arms it instead of in-process replication.
+        self.shipper = None
         self.stats = {
             "kills": 0,
             "hot_promotions": 0,
@@ -152,6 +169,11 @@ class SessionState:
         if self.pair.replicators:
             for replicator in self.pair.replicators.values():
                 replicator.pump(force=True)
+
+    def pump_shipping(self) -> None:
+        """Flush the cross-process shipping backlog to the buddy."""
+        if self.shipper is not None:
+            self.shipper.pump(force=True)
 
     def maybe_kill_primary(self, access_index: int) -> bool:
         """Roll the deterministic kill schedule for one completed
@@ -207,6 +229,7 @@ class SessionState:
         """Settle link state for a checkpointed, auditable quiescence."""
         self.pair.drain_resync()
         self.pump_replication()
+        self.pump_shipping()
         self.checkpoint()
 
     def audit_ok(self) -> bool:

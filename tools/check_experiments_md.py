@@ -25,6 +25,7 @@ Run from the repo root (CI does) or anywhere — paths are anchored to
 this file.
 """
 
+import json
 import pathlib
 import re
 import sys
@@ -111,6 +112,36 @@ def check_failover(summary):
         yield "a post-failover drain audit failed"
 
 
+def check_cluster(summary):
+    if summary.get("workers", 0) < 8:
+        yield "needs at least 8 worker processes"
+    if summary.get("kills", 0) < 200:
+        yield "needs at least 200 worker kills across the storm"
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if summary.get("lost_sessions") != 0:
+        yield "a victim's sessions restarted fresh (lost_sessions > 0)"
+    if summary.get("recoveries", 0) < summary.get("kills", -1):
+        yield "not every scheduled kill resolved to a recovery"
+    if summary.get("completed") != summary.get("planned"):
+        yield "client batches did not complete through the storm"
+    if summary.get("p99_blip_bounded") != 1:
+        yield "router p99 blip exceeded the bound vs the no-fault baseline"
+    if summary.get("drained_clean") != 1:
+        yield "the final cluster drain audit failed"
+    if summary.get("campaign_ok") != 1:
+        yield "the campaign's own invariant roll-up failed"
+
+
+def check_cluster_scaling(summary):
+    if summary.get("scaling_ok") != 1:
+        yield "throughput did not scale (or collapsed past the core count)"
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if summary.get("drained_clean") != 1:
+        yield "a scaling-row drain audit failed"
+
+
 def check_hotpath_batch(summary):
     if summary.get("scalar_identical") != 1:
         yield "batched encode payloads diverged from the scalar path"
@@ -127,6 +158,8 @@ CHECKS = {
     "crash_recovery": check_crash_recovery,
     "serving": check_serving,
     "failover": check_failover,
+    "cluster": check_cluster,
+    "cluster_scaling": check_cluster_scaling,
     "hotpath_batch": check_hotpath_batch,
 }
 
@@ -181,6 +214,35 @@ def parse_markdown_tables(text):
         else:
             i += 1
     return tables
+
+
+def load_archived_rows(stem):
+    """Archived rows for *stem* as per-row dicts, or None if absent.
+
+    Prefers the machine-readable ``{stem}.json`` sidecar (headers +
+    rows, no re-parsing of the human table); falls back to scraping
+    the rendered ``{stem}.txt``.
+    """
+    json_path = OUTPUT_DIR / f"{stem}.json"
+    if json_path.exists():
+        payload = json.loads(json_path.read_text())
+        headers = payload.get("headers", [])
+        return [
+            dict(zip(headers, row)) for row in payload.get("rows", [])
+        ]
+    txt_path = OUTPUT_DIR / f"{stem}.txt"
+    if txt_path.exists():
+        return parse_archived_table(txt_path)
+    return None
+
+
+def load_archived_summary(stem):
+    """The summary dict for *stem* from its JSON sidecar, or None."""
+    json_path = OUTPUT_DIR / f"{stem}.json"
+    if not json_path.exists():
+        return None
+    summary = json.loads(json_path.read_text()).get("summary")
+    return summary if isinstance(summary, dict) else None
 
 
 def parse_archived_table(path):
@@ -260,6 +322,26 @@ FAILOVER_COLUMNS = {
     "silent": "silent",
 }
 
+#: Cluster campaign columns: the injector's per-mode schedule is
+#: deterministic (seeded RNG, fixed kill budget); the cause the
+#: detector attributes each recovery to is not (a slow worker can trip
+#: the hang deadline), so ``recovered_as`` is not drift-checked.
+CLUSTER_COLUMNS = {
+    "mode": "mode",
+    "scheduled": "scheduled",
+}
+
+#: Cluster scaling columns deterministic for fixed arguments; the
+#: rate/latency columns are wall-clock and not checked.
+CLUSTER_SCALING_COLUMNS = {
+    "workers": "workers",
+    "clients": "clients",
+    "accesses": "accesses",
+    "completed": "completed",
+    "silent": "silent",
+    "drained": "drained",
+}
+
 CRASH_COLUMNS = {
     "kills": "kills",
     "replays": "replays",
@@ -316,67 +398,48 @@ def check_table_drift(
                 )
 
 
+#: Drift-check dispatch: (required headers, stem, key header, key
+#: column, column map). First signature match wins, so tables with
+#: distinctive headers (cluster's mode/scheduled, scaling's workers)
+#: come before the broader clients/kills signatures.
+DRIFT_TABLES = (
+    (("mode", "scheduled"), "cluster", "mode", "mode", CLUSTER_COLUMNS),
+    (
+        ("workers", "completed"),
+        "cluster_scaling",
+        "workers",
+        "workers",
+        CLUSTER_SCALING_COLUMNS,
+    ),
+    (("clients", "kills"), "failover", "clients", "clients", FAILOVER_COLUMNS),
+    (
+        ("fault rate", "trips / re-arms"),
+        "resilience",
+        "fault rate",
+        "fault_rate",
+        RESILIENCE_COLUMNS,
+    ),
+    (("clients", "frames"), "serving", "clients", "clients", SERVING_COLUMNS),
+    (("scenario", "kills"), "crash_recovery", "scenario", "scenario", CRASH_COLUMNS),
+)
+
+
 def drift_failures():
     if not EXPERIMENTS_MD.exists():
         return
     tables = parse_markdown_tables(EXPERIMENTS_MD.read_text())
-    resilience = OUTPUT_DIR / "resilience.txt"
-    crash = OUTPUT_DIR / "crash_recovery.txt"
-    serving = OUTPUT_DIR / "serving.txt"
-    failover = OUTPUT_DIR / "failover.txt"
     for headers, rows in tables:
-        if "clients" in headers and "kills" in headers:
-            if not failover.exists():
-                yield "failover table quoted but failover.txt not archived"
+        for required, stem, key_header, key_column, columns in DRIFT_TABLES:
+            if not all(header in headers for header in required):
                 continue
+            archived = load_archived_rows(stem)
+            if archived is None:
+                yield f"{stem} table quoted but {stem}.txt/.json not archived"
+                break
             yield from check_table_drift(
-                "failover",
-                headers,
-                rows,
-                parse_archived_table(failover),
-                "clients",
-                "clients",
-                FAILOVER_COLUMNS,
+                stem, headers, rows, archived, key_header, key_column, columns
             )
-        elif "fault rate" in headers and "trips / re-arms" in headers:
-            if not resilience.exists():
-                yield "resilience table quoted but resilience.txt not archived"
-                continue
-            yield from check_table_drift(
-                "resilience",
-                headers,
-                rows,
-                parse_archived_table(resilience),
-                "fault rate",
-                "fault_rate",
-                RESILIENCE_COLUMNS,
-            )
-        elif "clients" in headers and "frames" in headers:
-            if not serving.exists():
-                yield "serving table quoted but serving.txt not archived"
-                continue
-            yield from check_table_drift(
-                "serving",
-                headers,
-                rows,
-                parse_archived_table(serving),
-                "clients",
-                "clients",
-                SERVING_COLUMNS,
-            )
-        elif "scenario" in headers and "kills" in headers:
-            if not crash.exists():
-                yield "crash table quoted but crash_recovery.txt not archived"
-                continue
-            yield from check_table_drift(
-                "crash_recovery",
-                headers,
-                rows,
-                parse_archived_table(crash),
-                "scenario",
-                "scenario",
-                CRASH_COLUMNS,
-            )
+            break
 
 
 def main():
@@ -389,10 +452,17 @@ def main():
             print("  ", line)
         check = CHECKS.get(path.stem)
         if check:
-            for line in summaries:
-                for problem in check(parse_summary(line)):
+            # The JSON sidecar carries the summary with full precision
+            # and no line-format scraping; prefer it when archived.
+            json_summary = load_archived_summary(path.stem)
+            if json_summary is not None:
+                for problem in check(json_summary):
                     failures.append(f"{path.stem}: {problem}")
-            if not summaries:
+            elif summaries:
+                for line in summaries:
+                    for problem in check(parse_summary(line)):
+                        failures.append(f"{path.stem}: {problem}")
+            else:
                 failures.append(f"{path.stem}: no summary line to check")
 
     drift = list(drift_failures())
