@@ -1,0 +1,17 @@
+"""Adaptive knob tuning — static sweep vs. online bandit ablation."""
+
+from conftest import run_experiment
+from repro.experiments import adaptive_tuning
+
+
+def test_adaptive_tuning(benchmark, scale):
+    result = run_experiment(
+        benchmark, adaptive_tuning.run, "adaptive_tuning", scale=scale
+    )
+    # The controller must never be worth less than the worst static
+    # arm (by the checked margin), must corrupt nothing in serve mode,
+    # and reconfigured pairs must match natively-built ones bit for bit.
+    assert result.summary["min_adp_vs_worst"] >= adaptive_tuning.WORST_MARGIN
+    assert result.summary["serve_silent_corruptions"] == 0
+    assert result.summary["serve_completed"] == result.summary["serve_planned"]
+    assert result.summary["arms_payload_identical"] == 1

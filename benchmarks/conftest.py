@@ -13,11 +13,29 @@ same underlying runs (11/12/14/17/18...) pay for them once.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def _archive_text(name: str, text: str) -> None:
+    """Atomically write one archive file (temp + rename).
+
+    A benchmark process killed mid-write (CI timeouts, OOM) must never
+    leave a truncated archive behind: EXPERIMENTS.md gating reads these
+    files and a half-written JSON would fail the drift check with a
+    parse error instead of the real signal. ``os.replace`` is atomic on
+    POSIX within one filesystem, and the temp file sits in the same
+    directory to guarantee that.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    final = OUTPUT_DIR / name
+    temp = OUTPUT_DIR / f".{name}.tmp{os.getpid()}"
+    temp.write_text(text)
+    os.replace(temp, final)
 
 _STATS_FIELDS = (
     "min",
@@ -53,9 +71,9 @@ def archive_benchmark_stats(benchmark, output_name: str) -> None:
             payload[field] = value
     if not payload:
         return
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / f"{output_name}.stats.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    _archive_text(
+        f"{output_name}.stats.json",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
     )
 
 
@@ -72,9 +90,9 @@ def archive_obs_snapshot(output_name: str) -> None:
 
     if not METRICS.enabled:
         return
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / f"{output_name}.obs.json").write_text(
-        json.dumps(METRICS.snapshot(), indent=2, sort_keys=True) + "\n"
+    _archive_text(
+        f"{output_name}.obs.json",
+        json.dumps(METRICS.snapshot(), indent=2, sort_keys=True) + "\n",
     )
 
 
@@ -82,11 +100,11 @@ def run_experiment(benchmark, run_fn, output_name: str, **kwargs):
     """Run an experiment once under pytest-benchmark and archive it."""
     result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
     text = result.render()
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / f"{output_name}.txt").write_text(text + "\n")
+    _archive_text(f"{output_name}.txt", text + "\n")
     if hasattr(result, "as_json"):
-        (OUTPUT_DIR / f"{output_name}.json").write_text(
-            json.dumps(result.as_json(), indent=2, sort_keys=True) + "\n"
+        _archive_text(
+            f"{output_name}.json",
+            json.dumps(result.as_json(), indent=2, sort_keys=True) + "\n",
         )
     archive_benchmark_stats(benchmark, output_name)
     archive_obs_snapshot(output_name)

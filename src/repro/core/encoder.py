@@ -15,7 +15,7 @@ synchronized through the pair's coherence events (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from time import perf_counter_ns
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -941,6 +941,152 @@ class CableLinkPair:
             self._step_resync()
             steps += 1
         return steps
+
+    # ------------------------------------------------------------------
+    # Online reconfiguration (repro.tune)
+    # ------------------------------------------------------------------
+
+    #: Config fields :meth:`apply_config` may change on a live pair.
+    #: Everything else is baked into construction (cache geometry,
+    #: fault/recovery/durability wiring, the H3 matrices behind
+    #: ``hash_seed``) and would need a rebuild, not a knob turn.
+    _TUNABLE = frozenset(
+        {
+            "signature_offsets",
+            "signatures_per_line",
+            "trivial_threshold_bits",
+            "hash_table_scale",
+            "hash_bucket_entries",
+            "data_access_count",
+            "max_references",
+            "ranking_policy",
+            "no_reference_threshold",
+            "engine",
+            "batch_block_size",
+        }
+    )
+    #: Fields whose change invalidates memoized *index* signatures.
+    _INDEX_MEMO_FIELDS = frozenset(
+        {"signature_offsets", "signatures_per_line", "trivial_threshold_bits"}
+    )
+    #: Fields that re-shape the signature hash tables.
+    _GEOMETRY_FIELDS = frozenset({"hash_table_scale", "hash_bucket_entries"})
+
+    def apply_knobs(self, **overrides) -> frozenset:
+        """Convenience wrapper: ``apply_config`` from keyword overrides."""
+        return self.apply_config(self.config.with_overrides(**overrides))
+
+    def apply_config(self, target: CableConfig) -> frozenset:
+        """Switch the live pair to *target*'s knob settings.
+
+        This is the single safe point for online tuning
+        (:mod:`repro.tune`): callers invoke it only at epoch
+        boundaries. The protocol, in order: flush any replication
+        backlog (so the standby's journal ends at a consistent
+        pre-change point), rebind the config on both endpoints and
+        drop every config-derived memo, swap compressor engines (and
+        the wire format with them), then re-shape and rebuild the hash
+        tables from cache ground truth if the geometry moved — with
+        journaling suspended, followed by a fresh checkpoint and
+        standby reseed, exactly the bulk-mutation rule the durability
+        managers document.
+
+        Returns the set of field names that actually changed (empty
+        when *target* equals the current config — a no-op).
+        """
+        changed = frozenset(
+            f.name
+            for f in fields(CableConfig)
+            if getattr(target, f.name) != getattr(self.config, f.name)
+        )
+        if not changed:
+            return changed
+        illegal = changed - self._TUNABLE
+        if illegal:
+            raise ValueError(
+                f"config fields {sorted(illegal)} cannot change on a live pair"
+            )
+        if self.replicators:
+            for replicator in self.replicators.values():
+                replicator.pump(force=True)
+        self.config = target
+        for endpoint in (self.home_encoder, self.remote_decoder):
+            endpoint.config = target
+            endpoint.extractor.config = target
+            endpoint.pipeline.config = target
+            if changed & self._INDEX_MEMO_FIELDS:
+                endpoint.extractor._index_memo.clear()
+            if "trivial_threshold_bits" in changed:
+                endpoint.extractor._search_memo.clear()
+            # The result cache's generation triple cannot witness a
+            # config change — always drop it.
+            endpoint.pipeline.invalidate_result_cache()
+        if "engine" in changed:
+            self.home_encoder.engine = _make_reference_engine(target.engine)
+            self.remote_decoder.engine = _make_reference_engine(target.engine)
+            if self.recovery_layer is not None:
+                link = self.recovery_layer.link
+                link.fmt = wire_format_for(target, self.home_encoder.engine)
+                link.engine_name = target.engine
+        if changed & self._GEOMETRY_FIELDS:
+            self._reshape_hash_tables(target)
+        return changed
+
+    def _reshape_hash_tables(self, target: CableConfig) -> None:
+        """Re-shape both signature hash tables and rebuild them from
+        cache ground truth (local work, no link traffic)."""
+        managers = [
+            manager
+            for manager in (self.home_state, self.remote_state)
+            if manager is not None
+        ]
+        for manager in managers:
+            manager.suspended = True
+        try:
+            self.home_encoder.hash_table.reconfigure(
+                max(1, int(self.pair.home.geometry.lines * target.hash_table_scale)),
+                target.hash_bucket_entries,
+            )
+            self.remote_decoder.hash_table.reconfigure(
+                max(1, int(self.pair.remote.geometry.lines * target.hash_table_scale)),
+                target.hash_bucket_entries,
+            )
+            self._rebuild_home_metadata()
+            self._rebuild_remote_metadata()
+        finally:
+            for manager in managers:
+                manager.suspended = False
+        for manager in managers:
+            manager.checkpoint()
+        if self.replicators:
+            for replicator in self.replicators.values():
+                replicator.reseed()
+
+    def _rebuild_home_metadata(self) -> None:
+        """Reindex the home hash table from the WMT's ground truth.
+
+        Unlike the crash-recovery resync walk this trusts the live WMT
+        (nothing crashed — the table was merely re-shaped), so no
+        byte-verification traffic is charged: for every remote-resident
+        line whose home copy is reference-usable, re-insert its
+        index-time signatures under the home LID.
+        """
+        encoder = self.home_encoder
+        wmt = encoder.wmt
+        home = self.pair.home
+        for remote_lid, line in self.pair.remote:
+            home_lid = wmt.home_lid_for(remote_lid)
+            if home_lid is None:
+                continue
+            home_line = home.read_by_lineid(home_lid)
+            if (
+                home_line is None
+                or home_line.state is None
+                or not home_line.state.usable_as_reference
+            ):
+                continue
+            for signature in encoder.extractor.index_signatures(line.data):
+                encoder.hash_table.insert(signature, home_lid)
 
     # ------------------------------------------------------------------
     # Warm-standby replication / failover (repro.replica)

@@ -140,6 +140,26 @@ class SignatureHashTable:
         self._buckets.clear()
         self.generation += 1
 
+    def reconfigure(self, entries: int, bucket_entries: int) -> None:
+        """Re-shape the table in place (online knob tuning, §IV-D sweep).
+
+        Drops every bucket — the caller must rebuild the index from
+        cache ground truth afterwards and cut a fresh durability
+        checkpoint (reshaping bypasses the journal, and old snapshots
+        no longer match the new shape). Mutating in place rather than
+        swapping the object keeps every live reference (pipelines,
+        durability managers, replicators) valid.
+        """
+        if entries < 1:
+            raise ValueError("hash table needs at least one entry")
+        if bucket_entries < 1:
+            raise ValueError("buckets need at least one slot")
+        self.entries = _round_up_pow2(entries)
+        self.bucket_entries = bucket_entries
+        self._mask = self.entries - 1
+        self._buckets.clear()
+        self.generation += 1
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

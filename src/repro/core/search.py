@@ -187,6 +187,16 @@ class SearchPipeline:
         self._ctr_references = METRICS.counter("search.references")
         self._ctr_covered_words = METRICS.counter("search.covered_words")
 
+    def invalidate_result_cache(self) -> None:
+        """Drop the cross-block result cache unconditionally.
+
+        The generation triple only tracks *state* (hash table, cache,
+        WMT) — it cannot see a config change, so online knob tuning
+        must call this whenever the pipeline's config is rebound.
+        """
+        self._line_cache.clear()
+        self._line_cache_gen = None
+
     def search(self, line: bytes, exclude: Optional[LineId] = None) -> SearchResult:
         """Find up to ``max_references`` references for *line*.
 

@@ -192,7 +192,34 @@ COUNTER_PREFIXES = [
     "link.",
     "hashtable.",
     "serve.",
+    "tune.",
 ]
+
+
+def render_tune_section(registry: MetricsRegistry) -> str:
+    """The adaptive-tuning summary: ``tune.*`` gauges and counters.
+
+    Empty string when no controller ran (the common case), so callers
+    can print it unconditionally.
+    """
+    counters = [
+        (name, counter.value)
+        for name, counter in sorted(registry.counters.items())
+        if name.startswith("tune.") and counter.value
+    ]
+    gauges = [
+        (name, gauge.value)
+        for name, gauge in sorted(registry.gauges.items())
+        if name.startswith("tune.")
+    ]
+    if not counters and not gauges:
+        return ""
+    rows = [(name, f"{value:,}") for name, value in counters]
+    rows += [(name, f"{value:g}") for name, value in gauges]
+    width = max(len(name) for name, _ in rows)
+    lines = ["adaptive tuning:"]
+    lines += [f"  {name.ljust(width)}  {text}" for name, text in rows]
+    return "\n".join(lines)
 
 
 def run_demo(accesses: int, seed: int) -> None:
@@ -304,6 +331,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.counters:
         print()
         print(render_counter_table(registry, COUNTER_PREFIXES))
+    tuning = render_tune_section(registry)
+    if tuning:
+        print()
+        print(tuning)
     if args.prometheus:
         pathlib.Path(args.prometheus).write_text(render_prometheus(registry))
         print(f"wrote Prometheus text to {args.prometheus}")

@@ -272,6 +272,7 @@ async def run_cluster_serving(
     seed: int = 0xCAB1E,
     window: int = 4,
     heartbeat_interval: float = 0.25,
+    tune_policy: str = "",
 ) -> Dict[str, object]:
     """No-fault serving throughput through the router: every client
     completes one batch; returns a flat report for the scaling sweep."""
@@ -280,6 +281,7 @@ async def run_cluster_serving(
         workers=workers,
         heartbeat_interval=heartbeat_interval,
         max_sessions=clients + 8,
+        tune_policy=tune_policy,
     )
     service = ClusterService(config)
     host, port = await service.start()
@@ -327,6 +329,7 @@ async def run_cluster_campaign(
     blip_limit: float = 8.0,
     settle_s: float = 0.02,
     recovery_timeout: float = 60.0,
+    tune_policy: str = "",
     progress=None,
 ) -> ClusterCampaignReport:
     """Run the full kill-under-load campaign; see the module docstring."""
@@ -341,6 +344,7 @@ async def run_cluster_campaign(
         # Sessions concentrate onto survivors as the storm goes on; any
         # single worker must be able to hold every tag.
         max_sessions=clients + 8,
+        tune_policy=tune_policy,
     )
     service = ClusterService(config)
     host, port = await service.start()

@@ -53,6 +53,11 @@ class ClusterConfig:
     queue_depth: int = 32
     flush_interval: float = 0.002
     replica_flush_accesses: int = 4
+    #: Online knob tuning policy ("epsilon", "ucb1" or "onoff"; empty
+    #: disables). Each worker builds its own TuningPlan seeded by its
+    #: worker id, so shards adapt independently — there is no global
+    #: coordinator to become a consistency bottleneck.
+    tune_policy: str = ""
 
     def __post_init__(self) -> None:
         if self.workers < 1:

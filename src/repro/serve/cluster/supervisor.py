@@ -210,6 +210,8 @@ class ClusterService:
             "--replica-flush-accesses",
             str(self.config.replica_flush_accesses),
         ]
+        if self.config.tune_policy:
+            cmd += ["--tune", self.config.tune_policy]
         stdout = None if self.config.verbose else subprocess.DEVNULL
         proc = subprocess.Popen(cmd, env=env, stdout=stdout)
         handle = WorkerHandle(worker_id, proc)
@@ -627,6 +629,7 @@ async def _cluster_main(args: argparse.Namespace) -> int:
         slow_factor=args.slow_factor,
         max_sessions=args.max_sessions,
         verbose=args.verbose,
+        tune_policy=args.tune,
     )
     service = ClusterService(config)
     host, port = await service.start()
@@ -688,6 +691,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--miss-threshold", type=int, default=8)
     parser.add_argument("--slow-factor", type=float, default=6.0)
     parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument(
+        "--tune",
+        default="",
+        choices=("", "epsilon", "ucb1", "onoff"),
+        help="adaptive knob-tuning policy run independently by each worker",
+    )
     parser.add_argument(
         "--duration",
         type=float,

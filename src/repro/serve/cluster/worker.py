@@ -482,6 +482,13 @@ def main(argv=None) -> int:
     parser.add_argument("--queue-depth", type=int, default=32)
     parser.add_argument("--flush-interval", type=float, default=0.002)
     parser.add_argument("--replica-flush-accesses", type=int, default=4)
+    parser.add_argument(
+        "--tune",
+        default="",
+        choices=("", "epsilon", "ucb1", "onoff"),
+        help="arm per-session online knob tuning with this policy; "
+        "each worker seeds its own plan, adapting independently",
+    )
     args = parser.parse_args(argv)
     # Siblings die under us by design (kill campaigns); asyncio logs a
     # warning per dead socket, which would flood the supervisor's
@@ -489,6 +496,28 @@ def main(argv=None) -> int:
     import logging
 
     logging.getLogger("asyncio").setLevel(logging.ERROR)
+    tuning = None
+    if args.tune:
+        from repro.tune.plan import TuningPlan, default_arm_space
+
+        # Per-worker seed: shards explore independently instead of
+        # replaying identical arm sequences in lockstep. Sessions
+        # adopted after a worker death rebuild a fresh controller on
+        # the buddy — a clean schedule restart, never torn knobs.
+        # Geometry arms are dropped: a hash reshape bypasses the
+        # journal, and the buddy's shadow restores base-shaped
+        # snapshots it cannot reshape.
+        tuning = TuningPlan(
+            policy=args.tune,
+            arms=tuple(
+                arm
+                for arm in default_arm_space(wire_safe=True)
+                if arm.reshape_free
+            ),
+            seed=0xCAB1E ^ args.worker_id,
+            warmup_accesses=16,
+            hold_accesses=16,
+        )
     config = ServeConfig(
         host=args.host,
         port=0,
@@ -496,6 +525,7 @@ def main(argv=None) -> int:
         queue_depth=args.queue_depth,
         flush_interval=args.flush_interval,
         replica_flush_accesses=args.replica_flush_accesses,
+        tuning=tuning,
     )
     worker = ClusterWorker(
         args.worker_id,

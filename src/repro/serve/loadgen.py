@@ -214,11 +214,24 @@ async def _loadgen_main(args: argparse.Namespace) -> int:
         faults = None
         if args.fault_rate > 0:
             faults = FaultPlan.uniform(args.fault_rate, seed=args.seed)
+        tuning = None
+        if args.adaptive:
+            from repro.tune.plan import TuningPlan
+
+            # Schedule scaled to the campaign length so short smoke
+            # runs still complete a handful of epochs per session.
+            tuning = TuningPlan(
+                policy=args.adaptive,
+                seed=args.seed,
+                warmup_accesses=max(8, args.accesses // 4),
+                hold_accesses=max(8, args.accesses // 8),
+            )
         config = ServeConfig(
             queue_depth=args.queue_depth,
             flush_interval=args.flush_interval,
             faults=faults,
             max_sessions=max(64, args.clients),
+            tuning=tuning,
         )
         service = LinkService(config)
         if args.serve:
@@ -323,6 +336,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.0,
         help="self-hosted only: arm wire fault injection at this rate",
+    )
+    parser.add_argument(
+        "--adaptive",
+        nargs="?",
+        const="ucb1",
+        default=None,
+        choices=("epsilon", "ucb1", "onoff"),
+        help="self-hosted only: per-session online knob tuning with "
+        "this bandit policy (bare flag = ucb1)",
     )
     parser.add_argument(
         "--per-client",

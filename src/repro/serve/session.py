@@ -50,6 +50,7 @@ from repro.serve import protocol
 from repro.serve.state import SessionState, synthetic_line
 from repro.serve.transport import StreamSender
 from repro.state.plan import DurabilityPolicy
+from repro.tune.plan import TuningPlan
 
 __all__ = [
     "ServeConfig",
@@ -118,6 +119,12 @@ class ServeConfig:
     #: clock) so kill campaigns are exactly repeatable — a kill landing
     #: on a flush point finds an empty backlog and promotes *hot*.
     replica_flush_accesses: int = 4
+    #: Per-session online knob tuning (repro.tune): each session runs
+    #: its own wire-safe controller, adapting independently. Knob
+    #: changes land only at epoch boundaries through
+    #: :meth:`SessionState._apply_knobs`, which flushes replication /
+    #: shipping around the change so standby journals never tear.
+    tuning: Optional[TuningPlan] = None
 
     def __post_init__(self) -> None:
         if self.failover is not None and self.replication is None:
@@ -333,6 +340,12 @@ class Session:
                 1, self.config.replica_flush_accesses
             ) == 0:
                 self.state.pump_shipping()
+        if self.state.tuner is not None:
+            # Ticked after the replication/shipping blocks so an epoch
+            # boundary always sees a freshly flushed backlog; keyed to
+            # the per-session ordinal, so campaigns stay repeatable
+            # under any asyncio interleaving.
+            self.state.tuner.on_access()
         if self.sender is not None:
             epoch, records = self.progress()
             self.sender.send(
@@ -556,6 +569,10 @@ class SessionManager:
             "batches_shipped": 0,
             "batches_lost": 0,
             "replica_lag_peak": 0,
+            # -- adaptive tuning (repro.tune) ---------------------------
+            "tuned_sessions": 0,
+            "tune_epochs": 0,
+            "tune_switches": 0,
         }
         for session in list(self.sessions.values()):
             await session.drain()
@@ -581,6 +598,11 @@ class SessionManager:
             report["replica_lag_peak"] = max(
                 report["replica_lag_peak"], replica["lag_peak"]
             )
+            tune = session.state.tune_rollup()
+            if tune is not None:
+                report["tuned_sessions"] += 1
+                report["tune_epochs"] += tune["epochs"]
+                report["tune_switches"] += tune["switches"]
             if not session.audit_ok():
                 report["audit_failures"] += 1
         if METRICS.enabled:

@@ -123,6 +123,23 @@ class SessionState:
         #: Cross-process journal shipper (repro.replica.remote); the
         #: cluster worker arms it instead of in-process replication.
         self.shipper = None
+        #: Per-session online knob controller (repro.tune). Wire-safe
+        #: arms only — the client decodes with the format negotiated at
+        #: OPEN, so engine/width knobs are off the table here. Knob
+        #: changes route through :meth:`_apply_knobs`, which keeps the
+        #: replication and shipping journals epoch-consistent.
+        self.tuner = None
+        tuning = getattr(config, "tuning", None)
+        if tuning is not None:
+            from repro.tune.controller import KnobController
+
+            self.tuner = KnobController(
+                self.pair,
+                tuning,
+                wire_safe=True,
+                seed_context=(client_tag,),
+                apply_fn=self._apply_knobs,
+            )
         self.stats = {
             "kills": 0,
             "hot_promotions": 0,
@@ -152,6 +169,28 @@ class SessionState:
         for manager in (self.pair.home_state, self.pair.remote_state):
             if manager is not None:
                 manager.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Adaptive tuning (repro.tune)
+    # ------------------------------------------------------------------
+
+    def _apply_knobs(self, target) -> None:
+        """Epoch-boundary knob application for this session.
+
+        ``apply_config`` already flushes the in-process replicators;
+        this wrapper extends the same contract to cross-process
+        shipping: drain the buddy's backlog first, and after a hash
+        reshape (a journal-bypassing bulk mutation) re-seed the buddy
+        with a fresh baseline — its shadow can't replay what was never
+        journaled.
+        """
+        self.pump_shipping()
+        changed = self.pair.apply_config(target)
+        if self.shipper is not None and changed & CableLinkPair._GEOMETRY_FIELDS:
+            self.shipper.seed()
+
+    def tune_rollup(self) -> Optional[Dict[str, object]]:
+        return None if self.tuner is None else self.tuner.rollup()
 
     # ------------------------------------------------------------------
     # Replication / failover
@@ -227,6 +266,8 @@ class SessionState:
 
     def drain(self) -> None:
         """Settle link state for a checkpointed, auditable quiescence."""
+        if self.tuner is not None:
+            self.tuner.finish()
         self.pair.drain_resync()
         self.pump_replication()
         self.pump_shipping()

@@ -39,6 +39,8 @@ from repro.obs.registry import METRICS
 from repro.obs.tracer import trace
 from repro.trace.profiles import BenchmarkProfile, get_profile
 from repro.trace.stream import SharedBackingStore, WorkloadModel
+from repro.tune.controller import KnobController
+from repro.tune.plan import TuningPlan
 
 _MB = 1024 * 1024
 
@@ -110,6 +112,12 @@ class MemLinkConfig:
     #: throughput knob — extraction is a pure function of line bytes,
     #: so results are byte-identical with it on, off (≤1), or resized.
     batch_lines: int = 64
+    #: Online adaptive knob tuning (cable scheme only): a
+    #: :class:`repro.tune.plan.TuningPlan` arms a per-benchmark
+    #: :class:`~repro.tune.controller.KnobController` when counting
+    #: starts (so warmup payloads match untuned runs exactly); the
+    #: controller's roll-up lands in ``MemLinkResult.tuning``.
+    tuning: Optional[TuningPlan] = None
 
     def scaled(self, **kwargs) -> "MemLinkConfig":
         return replace(self, **kwargs)
@@ -149,6 +157,9 @@ class MemLinkResult:
     health: Dict[str, int] = field(default_factory=dict)
     per_transfer_bits: List[int] = field(default_factory=list)
     link: LinkModel = field(default_factory=LinkModel)
+    #: Knob-controller roll-up (arm pulls, best arm, regret); None
+    #: unless the run was configured with a tuning plan.
+    tuning: Optional[Dict[str, object]] = None
 
     @property
     def raw_ratio(self) -> float:
@@ -397,17 +408,31 @@ class MemLinkSimulation:
         accesses = self.workload.accesses(config.accesses)
         if self.cable is not None and config.batch_lines > 1:
             accesses = self._lookahead_blocks(accesses, config.batch_lines)
+        tuner: Optional[KnobController] = None
         for i, access in enumerate(accesses):
             if i == warmup:
                 self._start_counting()
+                if self.cable is not None and config.tuning is not None:
+                    # Armed exactly at counting start: warmup payloads
+                    # stay byte-identical to an untuned run.
+                    tuner = KnobController(
+                        self.cable,
+                        config.tuning,
+                        seed_context=(self.profile.name, config.seed),
+                    )
             self.pair.access(
                 access.line_addr,
                 is_write=access.is_write,
                 write_data=access.write_data,
             )
+            if tuner is not None:
+                tuner.on_access()
             if i in crash_at and self.cable is not None:
                 for side in crash_at[i]:
                     self.cable.crash_endpoint(side)
+        if tuner is not None:
+            tuner.finish()
+            self.result.tuning = tuner.rollup()
         if self.cable is not None:
             self.cable.drain_resync()
         self._finish()

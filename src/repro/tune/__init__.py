@@ -1,0 +1,41 @@
+"""Online adaptive tuning of encoder knobs (ROADMAP item 3).
+
+Plain-data plans (:mod:`repro.tune.plan`), seeded bandit policies
+(:mod:`repro.tune.bandit`) and the epoch-scheduled controller
+(:mod:`repro.tune.controller`) that applies knob changes to a live
+:class:`~repro.core.encoder.CableLinkPair` at safe boundaries.
+
+This package must stay import-light: :mod:`repro.sim.memlink` imports
+it for the ``tuning`` config field, so nothing here may import the sim
+or serve layers at module scope (the §VI-D baseline in ``bandit``
+imports :mod:`repro.sim.control` lazily for exactly this reason).
+"""
+
+from repro.tune.bandit import ArmStats, BanditPolicy, EpsilonGreedy, OnOff, UCB1, make_policy
+from repro.tune.controller import KnobController
+from repro.tune.plan import (
+    GEOMETRY_KNOBS,
+    POLICIES,
+    TUNABLE_KNOBS,
+    WIRE_AFFECTING,
+    KnobArm,
+    TuningPlan,
+    default_arm_space,
+)
+
+__all__ = [
+    "ArmStats",
+    "BanditPolicy",
+    "EpsilonGreedy",
+    "GEOMETRY_KNOBS",
+    "KnobArm",
+    "KnobController",
+    "OnOff",
+    "POLICIES",
+    "TUNABLE_KNOBS",
+    "TuningPlan",
+    "UCB1",
+    "WIRE_AFFECTING",
+    "default_arm_space",
+    "make_policy",
+]

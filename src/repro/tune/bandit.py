@@ -1,0 +1,236 @@
+"""Bandit policies over knob arms.
+
+Three policies share one interface: ε-greedy, UCB1, and the paper's
+§VI-D on/off hysteresis controller recast as a two-arm policy (the
+single-knob baseline the ablation compares against). Policies see only
+*normalized* rewards in ``[0, 1)`` — the controller maps the raw
+bytes-saved-per-search-cost reward through ``r / (1 + r)`` so UCB1's
+confidence radius is meaningful. All randomness flows through
+:func:`repro.util.rng.make_rng`, so a fixed ``(seed, context)`` makes
+the whole arm sequence exactly repeatable.
+
+``state_snapshot()`` / ``restore_state()`` round-trip the full policy
+state as plain JSON-able data; the serve layer uses this so a promoted
+standby can resume mid-campaign without torn statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.tune.plan import KnobArm, TuningPlan
+from repro.util.rng import make_rng
+
+
+@dataclass
+class ArmStats:
+    """Running reward statistics for one arm."""
+
+    pulls: int = 0
+    reward_total: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.reward_total / self.pulls if self.pulls else 0.0
+
+
+class BanditPolicy:
+    """Base policy: arm bookkeeping plus regret accounting."""
+
+    name = "base"
+
+    def __init__(self, plan: TuningPlan, arms: Sequence[KnobArm], context: Tuple = ()):
+        if not arms:
+            raise ValueError("policy needs at least one arm")
+        self.plan = plan
+        self.arms: Tuple[KnobArm, ...] = tuple(arms)
+        self.stats: List[ArmStats] = [ArmStats() for _ in self.arms]
+        self.total_pulls = 0
+        self.total_reward = 0.0
+        self._rng = make_rng(plan.seed, "tune", self.name, *context)
+
+    # -- selection ---------------------------------------------------
+    def select(self) -> int:
+        raise NotImplementedError
+
+    def _cold(self) -> Optional[int]:
+        """First never-pulled arm, in arm order (deterministic cold start)."""
+        for index, stat in enumerate(self.stats):
+            if stat.pulls == 0:
+                return index
+        return None
+
+    # -- updates -----------------------------------------------------
+    def update(self, index: int, reward: float) -> None:
+        """Record a settled epoch: *reward* is normalized to [0, 1)."""
+        stat = self.stats[index]
+        stat.pulls += 1
+        stat.reward_total += reward
+        self.total_pulls += 1
+        self.total_reward += reward
+
+    # -- reporting ---------------------------------------------------
+    def best_index(self) -> int:
+        """Arm with the best observed mean (ties break to lower index)."""
+        return max(range(len(self.arms)), key=lambda i: (self.stats[i].mean, -i))
+
+    def regret_estimate(self) -> float:
+        """Empirical regret: best-mean pulls minus what was earned.
+
+        In normalized reward units, so it is comparable across
+        workloads; exact regret would need the true means.
+        """
+        if not self.total_pulls:
+            return 0.0
+        best_mean = self.stats[self.best_index()].mean
+        return max(0.0, best_mean * self.total_pulls - self.total_reward)
+
+    # -- durability --------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        return {
+            "policy": self.name,
+            "arm_names": [arm.name for arm in self.arms],
+            "pulls": [stat.pulls for stat in self.stats],
+            "reward_totals": [stat.reward_total for stat in self.stats],
+            "total_pulls": self.total_pulls,
+            "total_reward": self.total_reward,
+            "rng": self._rng.getstate(),
+        }
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        if snapshot.get("policy") != self.name:
+            raise ValueError(
+                f"snapshot is for policy {snapshot.get('policy')!r}, not {self.name!r}"
+            )
+        if snapshot.get("arm_names") != [arm.name for arm in self.arms]:
+            raise ValueError("snapshot arm space does not match this policy")
+        for stat, pulls, total in zip(
+            self.stats, snapshot["pulls"], snapshot["reward_totals"]
+        ):
+            stat.pulls = pulls
+            stat.reward_total = total
+        self.total_pulls = snapshot["total_pulls"]
+        self.total_reward = snapshot["total_reward"]
+        rng_state = snapshot["rng"]
+        # JSON round-trips tuples as lists; Random.setstate wants the
+        # original (version, tuple-of-ints, gauss) shape back.
+        self._rng.setstate((rng_state[0], tuple(rng_state[1]), rng_state[2]))
+
+
+class EpsilonGreedy(BanditPolicy):
+    """Explore with probability ε, otherwise exploit the best mean."""
+
+    name = "epsilon"
+
+    def select(self) -> int:
+        cold = self._cold()
+        if cold is not None:
+            return cold
+        if self._rng.random() < self.plan.epsilon:
+            return self._rng.randrange(len(self.arms))
+        return self.best_index()
+
+
+class UCB1(BanditPolicy):
+    """Mean plus confidence radius ``c * sqrt(2 ln t / pulls)``."""
+
+    name = "ucb1"
+
+    def select(self) -> int:
+        cold = self._cold()
+        if cold is not None:
+            return cold
+        log_t = math.log(max(2, self.total_pulls))
+        return max(
+            range(len(self.arms)),
+            key=lambda i: (
+                self.stats[i].mean
+                + self.plan.ucb_c * math.sqrt(2.0 * log_t / self.stats[i].pulls),
+                -i,
+            ),
+        )
+
+
+class OnOff(BanditPolicy):
+    """§VI-D baseline: hysteresis between one on arm and the off arm.
+
+    Wraps :class:`repro.sim.control.BandwidthController` — the paper's
+    two-threshold link-utilization switch — as a policy over exactly
+    two of the arms: the first ``enabled=False`` arm and the first
+    enabled arm. The utilization proxy fed to the controller is the
+    on-arm's normalized reward relative to its own historical peak
+    (high reward means compression is paying for its search cost, i.e.
+    the link would be saturated without it). While switched off the
+    policy re-probes the on arm every eighth epoch so it can notice a
+    phase change; a pure hysteresis loop would stay off forever since
+    the off arm observes zero compression reward.
+    """
+
+    name = "onoff"
+    PROBE_PERIOD = 8
+
+    def __init__(self, plan: TuningPlan, arms: Sequence[KnobArm], context: Tuple = ()):
+        super().__init__(plan, arms, context)
+        # Imported lazily: sim.control imports sim.memlink, which
+        # imports this package — a top-level import would cycle.
+        from repro.sim.control import BandwidthController
+
+        self._off_index = next(
+            (i for i, arm in enumerate(arms) if not arm.enabled), None
+        )
+        self._on_index = next((i for i, arm in enumerate(arms) if arm.enabled), None)
+        if self._off_index is None or self._on_index is None:
+            raise ValueError(
+                "onoff policy needs one enabled and one enabled=False arm"
+            )
+        self._controller = BandwidthController(off_below=0.80, on_above=0.90)
+        self._peak = 0.0
+        self._epochs_off = 0
+
+    def select(self) -> int:
+        if self._controller.enabled:
+            return self._on_index
+        self._epochs_off += 1
+        if self._epochs_off % self.PROBE_PERIOD == 0:
+            return self._on_index
+        return self._off_index
+
+    def update(self, index: int, reward: float) -> None:
+        super().update(index, reward)
+        if index != self._on_index:
+            return
+        self._peak = max(self._peak, reward)
+        utilization = reward / self._peak if self._peak > 0 else 0.0
+        was_enabled = self._controller.enabled
+        self._controller.sample(utilization)
+        if self._controller.enabled and not was_enabled:
+            self._epochs_off = 0
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        snapshot = super().state_snapshot()
+        snapshot["controller_enabled"] = self._controller.enabled
+        snapshot["peak"] = self._peak
+        snapshot["epochs_off"] = self._epochs_off
+        return snapshot
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        super().restore_state(snapshot)
+        self._controller.enabled = snapshot["controller_enabled"]
+        self._peak = snapshot["peak"]
+        self._epochs_off = snapshot["epochs_off"]
+
+
+_POLICY_CLASSES = {cls.name: cls for cls in (EpsilonGreedy, UCB1, OnOff)}
+
+
+def make_policy(
+    plan: TuningPlan, arms: Sequence[KnobArm], context: Tuple = ()
+) -> BanditPolicy:
+    """Instantiate the policy *plan* names over *arms*."""
+    try:
+        cls = _POLICY_CLASSES[plan.policy]
+    except KeyError:
+        raise ValueError(f"unknown policy {plan.policy!r}") from None
+    return cls(plan, arms, context)
