@@ -1,0 +1,16 @@
+"""Memory-tier scenarios — CXL / DRAM-cache / capacity-mode sweep."""
+
+from conftest import run_experiment
+from repro.experiments import tiers
+
+
+def test_tiers(benchmark, scale):
+    result = run_experiment(benchmark, tiers.run, "tiers", scale=scale)
+    # Every tier round-trips its payloads; the capacity cache audits
+    # its packing invariants; metadata overhead must be charged (net
+    # gain strictly below the raw occupancy gain); the encoder must
+    # never degrade the CXL fill-latency tail vs the raw link.
+    assert result.summary["silent_corruptions"] == 0
+    assert result.summary["capacity_audit_ok"] == 1
+    assert result.summary["overhead_accounted"] == 1
+    assert result.summary["cxl_p99_speedup_min"] >= 1.0

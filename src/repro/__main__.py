@@ -44,6 +44,7 @@ EXPERIMENTS = {
     "failover": ("repro.experiments.failover", False),
     "cluster": ("repro.experiments.cluster", False),
     "cluster_scaling": ("repro.experiments.cluster_scaling", False),
+    "tiers": ("repro.experiments.tiers", True),
 }
 
 

@@ -193,6 +193,7 @@ COUNTER_PREFIXES = [
     "hashtable.",
     "serve.",
     "tune.",
+    "tier.",
 ]
 
 
@@ -218,6 +219,32 @@ def render_tune_section(registry: MetricsRegistry) -> str:
     rows += [(name, f"{value:g}") for name, value in gauges]
     width = max(len(name) for name, _ in rows)
     lines = ["adaptive tuning:"]
+    lines += [f"  {name.ljust(width)}  {text}" for name, text in rows]
+    return "\n".join(lines)
+
+
+def render_tier_section(registry: MetricsRegistry) -> str:
+    """The memory-tier summary: ``tier.*`` gauges and counters.
+
+    Empty string when no tier scenario ran, so callers can print it
+    unconditionally (mirrors :func:`render_tune_section`).
+    """
+    counters = [
+        (name, counter.value)
+        for name, counter in sorted(registry.counters.items())
+        if name.startswith("tier.") and counter.value
+    ]
+    gauges = [
+        (name, gauge.value)
+        for name, gauge in sorted(registry.gauges.items())
+        if name.startswith("tier.")
+    ]
+    if not counters and not gauges:
+        return ""
+    rows = [(name, f"{value:,}") for name, value in counters]
+    rows += [(name, f"{value:g}") for name, value in gauges]
+    width = max(len(name) for name, _ in rows)
+    lines = ["memory tiers:"]
     lines += [f"  {name.ljust(width)}  {text}" for name, text in rows]
     return "\n".join(lines)
 
@@ -335,6 +362,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if tuning:
         print()
         print(tuning)
+    tiers = render_tier_section(registry)
+    if tiers:
+        print()
+        print(tiers)
     if args.prometheus:
         pathlib.Path(args.prometheus).write_text(render_prometheus(registry))
         print(f"wrote Prometheus text to {args.prometheus}")

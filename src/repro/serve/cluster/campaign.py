@@ -344,6 +344,10 @@ async def run_cluster_campaign(
         # Sessions concentrate onto survivors as the storm goes on; any
         # single worker must be able to hold every tag.
         max_sessions=clients + 8,
+        # Drain audits every resident session, so the deadline must
+        # scale with the client count (256-client soaks overrun the
+        # 30s spawn default on a single core).
+        drain_timeout=max(30.0, clients * 0.75),
         tune_policy=tune_policy,
     )
     service = ClusterService(config)

@@ -39,6 +39,11 @@ class ClusterConfig:
     vnodes: int = 64
     #: Seconds to wait for a spawned worker's READY.
     spawn_timeout: float = 30.0
+    #: Seconds to wait for every worker's drain report. Unlike spawn,
+    #: drain time scales with resident state — each worker audits every
+    #: session it holds — so soak-scale campaigns must raise it (0 =
+    #: fall back to ``spawn_timeout``).
+    drain_timeout: float = 0.0
     #: Seconds to wait for a buddy's PROMOTED during recovery.
     promote_timeout: float = 30.0
     #: Respawn a replacement after a worker death (the campaign keeps

@@ -35,6 +35,12 @@ from repro.link.wire import encode_stream_record
 #: protocol's 0x0x and the replica link's 0x2x).
 CTRL = 0x31
 
+#: Frame bound for control-plane decoders. Most messages are tiny,
+#: but ``drained`` carries a whole worker report plus an obs snapshot
+#: — it scales with metric cardinality and resident sessions, and at
+#: soak scale (256 clients) it clears the 4KB stream default.
+CTRL_MAX_FRAME_BYTES = 1 << 20
+
 
 def encode_ctrl(message: Dict) -> bytes:
     payload = json.dumps(message, separators=(",", ":")).encode()

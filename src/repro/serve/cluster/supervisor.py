@@ -49,7 +49,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.link.wire import FrameDecoder
 from repro.obs.registry import METRICS, merge_snapshots
 from repro.serve.cluster.config import ClusterConfig
-from repro.serve.cluster.proto import CTRL, decode_ctrl, encode_ctrl
+from repro.serve.cluster.proto import (
+    CTRL,
+    CTRL_MAX_FRAME_BYTES,
+    decode_ctrl,
+    encode_ctrl,
+)
 from repro.serve.cluster.ring import HashRing, SessionDirectory
 from repro.serve.cluster.router import FrontRouter
 from repro.serve.transport import READ_CHUNK, StreamSender
@@ -224,7 +229,7 @@ class ClusterService:
     # ------------------------------------------------------------------
 
     async def _handle_control(self, reader, writer) -> None:
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(max_frame_bytes=CTRL_MAX_FRAME_BYTES)
         handle: Optional[WorkerHandle] = None
         try:
             while True:
@@ -540,10 +545,9 @@ class ClusterService:
             handle.send({"kind": "drain"})
         waits = [h.drained_event.wait() for h in alive]
         if waits:
+            deadline = self.config.drain_timeout or self.config.spawn_timeout
             with contextlib.suppress(asyncio.TimeoutError):
-                await asyncio.wait_for(
-                    asyncio.gather(*waits), self.config.spawn_timeout
-                )
+                await asyncio.wait_for(asyncio.gather(*waits), deadline)
         report = self._merge_reports(alive)
         await self._shutdown_processes()
         if self._control_server is not None:

@@ -51,7 +51,12 @@ from repro.replica.remote import (
     encode_mark,
 )
 from repro.obs.registry import METRICS
-from repro.serve.cluster.proto import CTRL, decode_ctrl, encode_ctrl
+from repro.serve.cluster.proto import (
+    CTRL,
+    CTRL_MAX_FRAME_BYTES,
+    decode_ctrl,
+    encode_ctrl,
+)
 from repro.serve.server import LinkService
 from repro.serve.session import ServeConfig
 from repro.serve.transport import READ_CHUNK, StreamSender
@@ -401,7 +406,7 @@ class ClusterWorker:
         self._done.set()
 
     async def _control_loop(self, reader) -> None:
-        decoder = FrameDecoder()
+        decoder = FrameDecoder(max_frame_bytes=CTRL_MAX_FRAME_BYTES)
         while not self._done.is_set():
             if self._hang:
                 # Stop reading the control pipe entirely — the classic

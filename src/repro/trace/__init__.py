@@ -3,7 +3,9 @@
 from repro.trace.profiles import (
     SPEC2006,
     ALL_BENCHMARKS,
+    EXTRA_PROFILES,
     NON_TRIVIAL,
+    TIER_BENCHMARKS,
     ZERO_DOMINANT,
     BenchmarkProfile,
     get_profile,
@@ -19,6 +21,8 @@ from repro.trace.patterns import PATTERN_GENERATORS
 __all__ = [
     "SPEC2006",
     "ALL_BENCHMARKS",
+    "EXTRA_PROFILES",
+    "TIER_BENCHMARKS",
     "NON_TRIVIAL",
     "ZERO_DOMINANT",
     "BenchmarkProfile",

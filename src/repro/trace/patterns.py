@@ -21,6 +21,11 @@ shifted copies    byte-shifted duplicates — gzip/ORACLE catch these,
                   CABLE+ORACLE gap)
 text              gzip-friendly byte redundancy
 random            incompressible filler
+sparse fibers     CSR coordinate/value runs (FiberCache-style) —
+                  coordinate halves behave like pointer arrays, value
+                  halves like floats; same-region fibers are
+                  near-duplicates (CABLE and the memory-tier
+                  scenarios)
 ================= ====================================================
 
 Every generator is deterministic in (seed, address), so a line's
@@ -132,6 +137,38 @@ def repeated_value_line(rng) -> bytes:
     return words_to_bytes([word] * WORDS)
 
 
+def sparse_fiber_line(rng) -> bytes:
+    """One line of a CSR-style sparse fiber (Gamma/FiberCache): a run
+    of ascending coordinate indices followed by their float32 values,
+    stored struct-of-arrays within the line.
+
+    Coordinates share one matrix's column-space high bits and climb
+    with power-law gaps (sparse rows cluster their nonzeros); short
+    fibers leave zero tails. The coordinate half compresses like a
+    pointer array (shared base, small deltas), the value half like
+    floats — and fibers drawn from the same matrix region are
+    positional near-duplicates of each other, which is exactly the
+    irregular long-range reuse the memory-tier scenarios stress."""
+    nnz = rng.randint(3, WORDS // 2)
+    base = rng.randrange(1 << 8) << 16
+    coord = base + rng.randrange(1 << 10)
+    coords: List[int] = []
+    for _ in range(nnz):
+        coords.append(coord & 0xFFFFFFFF)
+        # Power-law gap: most nonzeros are near-adjacent, a few jump.
+        coord += 1 + int((rng.random() ** 2.5) * 512)
+    coords += [0] * (WORDS // 2 - nnz)
+    values: List[int] = []
+    magnitude = rng.uniform(-2.0, 2.0)
+    for i in range(WORDS // 2):
+        if i < nnz:
+            magnitude += rng.gauss(0.0, 0.25)
+            values.append(struct.unpack("<I", struct.pack("<f", magnitude))[0])
+        else:
+            values.append(0)
+    return words_to_bytes(coords + values)
+
+
 #: Name → generator, referenced by benchmark profiles.
 PATTERN_GENERATORS: Dict[str, Callable] = {
     "zero": zero_line,
@@ -142,6 +179,7 @@ PATTERN_GENERATORS: Dict[str, Callable] = {
     "random": random_line,
     "struct": struct_record_line,
     "repeat": repeated_value_line,
+    "fiber": sparse_fiber_line,
 }
 
 

@@ -519,3 +519,43 @@ class TestClusterFailover:
             assert report["drained_clean"] == 1
 
         asyncio.run(scenario())
+
+
+class TestControlPlaneFraming:
+    def test_soak_sized_drained_message_fits_the_ctrl_bound(self):
+        """A 256-client drained report (worker stats + obs snapshot)
+        overruns the 4KB stream default; the control plane must decode
+        it (regression: the supervisor's handler died mid-soak and the
+        worker's drain was silently lost)."""
+        from repro.link.wire import MAX_STREAM_FRAME_BYTES, FrameDecoder
+        from repro.serve.cluster.proto import (
+            CTRL,
+            CTRL_MAX_FRAME_BYTES,
+            decode_ctrl,
+            encode_ctrl,
+        )
+
+        message = {
+            "kind": "drained",
+            "worker": 7,
+            "report": {f"stat_{i}": i for i in range(64)},
+            "shipping": {f"ship_{i}": i for i in range(16)},
+            "obs": {
+                "counters": {f"tier.metric.{i}": i for i in range(400)},
+                "gauges": {f"serve.gauge.{i}": float(i) for i in range(100)},
+            },
+        }
+        frame = encode_ctrl(message)
+        assert len(frame) > MAX_STREAM_FRAME_BYTES  # the soak regime
+        decoder = FrameDecoder(max_frame_bytes=CTRL_MAX_FRAME_BYTES)
+        records = decoder.feed(frame)
+        assert len(records) == 1
+        channel, payload, _bits = records[0]
+        assert channel == CTRL
+        assert decode_ctrl(payload) == message
+
+    def test_drain_timeout_defaults_to_spawn_timeout(self):
+        config = ClusterConfig()
+        assert config.drain_timeout == 0.0  # 0 -> spawn_timeout fallback
+        soak = ClusterConfig(drain_timeout=192.0)
+        assert soak.drain_timeout == 192.0

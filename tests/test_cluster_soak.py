@@ -1,0 +1,55 @@
+"""256-client cluster soak (ROADMAP item 1's open soak target).
+
+Opt-in: slow by design (hundreds of real client connections against
+real worker processes under a kill storm), so it only runs when
+``REPRO_SOAK=1`` is exported — locally, or in the scheduled soak
+workflow (``.github/workflows/soak.yml``), never on the PR path. The
+``soak`` marker lets ``-m "not soak"`` exclude it explicitly too.
+
+The gate is the campaign's own invariant roll-up at 256 clients:
+every scheduled kill recovers, no victim session is lost or silently
+corrupted, the router p99 blip stays bounded, and the final drain
+audits clean — i.e. exactly the PR-scale cluster guarantees, held at
+the soak scale.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+pytestmark = [
+    pytest.mark.soak,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_SOAK") != "1",
+        reason="soak campaign is opt-in (set REPRO_SOAK=1)",
+    ),
+]
+
+SEED = 0xCAB1E
+
+
+def test_cluster_soak_256_clients():
+    from repro.serve.cluster.campaign import run_cluster_campaign
+
+    report = asyncio.run(
+        run_cluster_campaign(
+            workers=8,
+            clients=256,
+            kills=64,
+            baseline_accesses=32,
+            batch_accesses=24,
+            seed=SEED,
+            heartbeat_interval=0.25,
+            blip_limit=8.0,
+        )
+    )
+    assert report.clients == 256
+    assert report.completed == report.planned
+    assert report.silent_corruptions == 0
+    assert report.lost_sessions == 0
+    assert report.recoveries >= report.kills
+    assert report.audit_failures == 0
+    assert report.drained_clean
+    assert report.p99_blip_bounded
+    assert report.ok

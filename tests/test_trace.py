@@ -215,3 +215,74 @@ class TestMixes:
     def test_unknown_mix(self):
         with pytest.raises(ValueError):
             MultiprogramWorkload.table_vi("MIX9")
+
+
+class TestSparseFiberArchetype:
+    """The irregular sparse-fiber reuse archetype (ISSUE 10 satellite)."""
+
+    def test_registered(self):
+        assert "fiber" in PATTERN_GENERATORS
+
+    def test_seeded_determinism(self):
+        # Identical rng context -> byte-identical fibers, across fresh
+        # rng instances (the property every profile leans on).
+        lines_a = [
+            PATTERN_GENERATORS["fiber"](make_rng(7, "fiber", i)) for i in range(32)
+        ]
+        lines_b = [
+            PATTERN_GENERATORS["fiber"](make_rng(7, "fiber", i)) for i in range(32)
+        ]
+        assert lines_a == lines_b
+        # Different seeds diverge (the generator isn't degenerate).
+        lines_c = [
+            PATTERN_GENERATORS["fiber"](make_rng(8, "fiber", i)) for i in range(32)
+        ]
+        assert lines_a != lines_c
+
+    def test_fiber_shape(self):
+        # Struct-of-arrays within the line: an ascending non-zero
+        # coordinate run in the first half, matching value population
+        # in the second, zero tails on both.
+        import struct
+
+        for i in range(64):
+            line = PATTERN_GENERATORS["fiber"](make_rng(3, "shape", i))
+            words = struct.unpack("<16I", line)
+            coords, values = words[:8], words[8:]
+            nnz = sum(1 for c in coords if c)
+            assert 3 <= nnz <= 8
+            populated = list(coords[:nnz])
+            assert populated == sorted(populated)  # ascending indices
+            assert all(c == 0 for c in coords[nnz:])  # zero tail
+            assert all(v == 0 for v in values[nnz:])
+
+    def test_tier_profiles_registered(self):
+        from repro.trace.profiles import EXTRA_PROFILES, TIER_BENCHMARKS
+
+        assert TIER_BENCHMARKS == ("spgemm", "spmv")
+        for name in TIER_BENCHMARKS:
+            profile = get_profile(name)
+            assert profile is EXTRA_PROFILES[name]
+            assert "fiber" in profile.pattern_weights
+        # The extra registry must not leak into the SPEC sweep set:
+        # every full-suite figure iterates ALL_BENCHMARKS.
+        assert not set(TIER_BENCHMARKS) & set(ALL_BENCHMARKS)
+        with pytest.raises(ValueError):
+            get_profile("nosuchbench")
+
+    def test_usable_by_old_scenarios(self):
+        # The tier profiles drive the existing memory-link scenario
+        # unchanged (the archetype is not tiers-only).
+        from repro.sim.memlink import MemLinkConfig, run_memlink
+
+        result = run_memlink(
+            "spmv",
+            MemLinkConfig(
+                accesses=600,
+                llc_bytes=16 * 1024,
+                l4_bytes=64 * 1024,
+                ws_scale=16 * 1024 / (1024 * 1024),
+            ),
+        )
+        assert result.transfers > 0
+        assert result.raw_ratio > 1.0

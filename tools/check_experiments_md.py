@@ -178,6 +178,21 @@ def check_adaptive(summary):
         yield "the serve controllers never settled an epoch"
 
 
+def check_tiers(summary):
+    if summary.get("tiers") != 3:
+        yield "sweep must cover all three tier models"
+    if summary.get("workloads", 0) < 3:
+        yield "sweep must cover at least 3 workloads"
+    if summary.get("silent_corruptions") != 0:
+        yield "silent_corruptions must be 0"
+    if summary.get("capacity_audit_ok") != 1:
+        yield "the capacity-cache packing audit failed"
+    if summary.get("overhead_accounted") != 1:
+        yield "capacity net gain not deflated by tag/metadata overhead"
+    if summary.get("cxl_p99_speedup_min", 0) < 1.0:
+        yield "the encoder degraded CXL p99 fill latency vs the raw link"
+
+
 CHECKS = {
     "resilience": check_resilience,
     "crash_recovery": check_crash_recovery,
@@ -187,6 +202,7 @@ CHECKS = {
     "cluster_scaling": check_cluster_scaling,
     "hotpath_batch": check_hotpath_batch,
     "adaptive_tuning": check_adaptive,
+    "tiers": check_tiers,
 }
 
 
@@ -427,6 +443,27 @@ ADAPTIVE_COLUMNS = {
 }
 
 
+#: Memory-tier columns: every cell is model-time (arrival ticks, wire
+#: cycles, device latencies) over pinned seeds, so the whole table is
+#: deterministic — including the latency percentiles, which would be
+#: wall-clock (ungated) in any other table.
+TIERS_COLUMNS = {
+    "accesses": "accesses",
+    "transfers": "transfers",
+    "ratio": "ratio",
+    "eff_ratio": "eff_ratio",
+    "thr_mlps": "thr_mlps",
+    "p50_ns": "p50_ns",
+    "p99_ns": "p99_ns",
+    "admit_pct": "admit_pct",
+    "tag_save_pct": "tag_save_pct",
+    "cap_gain": "cap_gain",
+    "net_gain": "net_gain",
+    "meta_pct": "meta_pct",
+    "fallbacks": "fallbacks",
+}
+
+
 def check_table_drift(
     name, headers, rows, archived_rows, key_header, key_column, columns
 ):
@@ -504,6 +541,7 @@ DRIFT_TABLES = (
         RESILIENCE_COLUMNS,
     ),
     (("clients", "frames"), "serving", "clients", "clients", SERVING_COLUMNS),
+    (("scenario", "eff_ratio"), "tiers", "scenario", "scenario", TIERS_COLUMNS),
     (("scenario", "kills"), "crash_recovery", "scenario", "scenario", CRASH_COLUMNS),
 )
 

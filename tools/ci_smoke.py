@@ -220,6 +220,93 @@ def smoke_tune() -> int:
     return 0
 
 
+def smoke_tiers() -> int:
+    """Memory-tier scenario sweep at smoke scale, all gates asserted.
+
+    Runs the three tier models (CXL / DRAM-cache / capacity) across
+    the tier workload spread and checks the same invariants the bench
+    gates: zero silent corruptions, a clean capacity packing audit,
+    honestly-deflated capacity gain, and a CXL p99 fill tail the
+    encoder never degrades. With REPRO_OBS=1 the ``tier.*`` metric
+    family must land in the archived obs snapshot.
+    """
+    from repro.experiments import tiers
+    from repro.obs.registry import METRICS
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    result = tiers.run(scale="smoke")
+    summary = result.summary
+    print(
+        f"tiers={summary['tiers']:.0f} workloads={summary['workloads']:.0f} "
+        f"rows={len(result.rows)} "
+        f"silent={summary['silent_corruptions']:.0f} "
+        f"audit_ok={summary['capacity_audit_ok']:.0f} "
+        f"overhead_accounted={summary['overhead_accounted']:.0f} "
+        f"p99_speedup_min={summary['cxl_p99_speedup_min']:.3f}"
+    )
+    (OUTPUT_DIR / "tiers_smoke.json").write_text(
+        json.dumps(result.as_json(), indent=2, sort_keys=True)
+    )
+    assert summary["tiers"] == 3, "a tier model was skipped"
+    assert summary["workloads"] >= 3, "too few workloads"
+    assert len(result.rows) >= 9, "missing tier×workload rows"
+    assert summary["silent_corruptions"] == 0, "silent corruption escaped"
+    assert summary["capacity_audit_ok"] == 1, "capacity packing audit failed"
+    assert summary["overhead_accounted"] == 1, "metadata overhead not charged"
+    assert summary["cxl_p99_speedup_min"] >= 1.0, "encoder degraded CXL p99"
+    # A rerun must be byte-identical: the whole sweep is model-time.
+    rerun = tiers.run(scale="smoke")
+    assert rerun.rows == result.rows, "tier sweep was not deterministic"
+    if METRICS.enabled:
+        snapshot = METRICS.snapshot()
+        (OUTPUT_DIR / "tiers_smoke.obs.json").write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        recorded = [
+            name for name in snapshot.get("counters", {}) if name.startswith("tier.")
+        ]
+        assert recorded, "REPRO_OBS=1 run recorded no tier.* counters"
+    return 0
+
+
+def smoke_cluster_soak() -> int:
+    """The 256-client soak (ROADMAP item 1), scheduled-job sized.
+
+    Same campaign and gates as ``tests/test_cluster_soak.py``; runs
+    from the scheduled soak workflow, not the PR matrix.
+    """
+    import asyncio
+
+    from repro.serve.cluster.campaign import run_cluster_campaign
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    report = asyncio.run(
+        run_cluster_campaign(
+            workers=8, clients=256, kills=64,
+            baseline_accesses=32, batch_accesses=24, seed=0xCAB1E,
+            heartbeat_interval=0.25, blip_limit=8.0,
+        )
+    )
+    print(
+        f"clients={report.clients} kills={report.kills} "
+        f"recoveries={report.recoveries} lost={report.lost_sessions} "
+        f"completed={report.completed}/{report.planned} "
+        f"silent={report.silent_corruptions} "
+        f"p99_blip={report.p99_blip:.2f}x elapsed={report.elapsed_s:.1f}s"
+    )
+    (OUTPUT_DIR / "cluster_soak.json").write_text(
+        json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    )
+    assert report.clients == 256, "soak must run 256 clients"
+    assert report.recoveries >= report.kills, "a kill was never recovered"
+    assert report.lost_sessions == 0, "a victim's session restarted fresh"
+    assert report.completed == report.planned, "an access never completed"
+    assert report.silent_corruptions == 0, "silent corruption escaped"
+    assert report.drained_clean, "merged drain was not clean"
+    assert report.ok
+    return 0
+
+
 LEGS = {
     "fault": smoke_fault,
     "crash": smoke_crash,
@@ -227,6 +314,8 @@ LEGS = {
     "failover": smoke_failover,
     "cluster": smoke_cluster,
     "tune": smoke_tune,
+    "tiers": smoke_tiers,
+    "cluster_soak": smoke_cluster_soak,
 }
 
 
